@@ -1,0 +1,127 @@
+//===- BenchUtil.h - Shared bench-table machinery ---------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table bench binaries: suite caching, running
+/// a pipeline configuration over a suite, and printing paper-style tables
+/// (first column absolute, remaining columns as +/- deltas, exactly like
+/// Tables 2, 3 and 5 of the paper).
+///
+/// Every binary prints its table(s) on startup and then runs the
+/// registered google-benchmark timings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_BENCH_BENCHUTIL_H
+#define LAO_BENCH_BENCHUTIL_H
+
+#include "exec/Interpreter.h"
+#include "ir/Clone.h"
+#include "outofssa/Pipeline.h"
+#include "workloads/Suites.h"
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lao {
+namespace bench {
+
+/// Lazily built, cached copies of all suites.
+inline const std::vector<std::pair<std::string, std::vector<Workload>>> &
+suites() {
+  static std::vector<std::pair<std::string, std::vector<Workload>>> Cache;
+  if (Cache.empty())
+    for (const SuiteSpec &Spec : allSuites())
+      Cache.push_back({Spec.Name, Spec.Make()});
+  return Cache;
+}
+
+/// Aggregate outcome of a configuration over one suite.
+struct SuiteTotals {
+  uint64_t Moves = 0;
+  uint64_t WeightedMoves = 0;
+  uint64_t MovesBeforeCoalesce = 0;
+  uint64_t CoalescerMerges = 0;
+  double Seconds = 0.0;
+  double CoalesceSeconds = 0.0;
+};
+
+/// Runs \p Config on a fresh clone of every suite member. When \p Check
+/// is true, also verifies interpreter equivalence and aborts loudly on a
+/// miscompile (used to keep the bench numbers trustworthy).
+inline SuiteTotals runOnSuite(const std::vector<Workload> &Suite,
+                              const PipelineConfig &Config,
+                              bool Check = false) {
+  SuiteTotals Totals;
+  for (const Workload &W : Suite) {
+    auto F = cloneFunction(*W.F);
+    PipelineResult R = runPipeline(*F, Config);
+    Totals.Moves += R.NumMoves;
+    Totals.WeightedMoves += R.WeightedMoves;
+    Totals.MovesBeforeCoalesce += R.MovesBeforeCoalesce;
+    Totals.CoalescerMerges += R.Coalescer.NumMerges;
+    Totals.Seconds += R.Seconds;
+    Totals.CoalesceSeconds += R.CoalesceSeconds;
+    if (Check)
+      for (const auto &Args : W.Inputs) {
+        ExecResult Before = interpret(*W.F, Args);
+        ExecResult After = interpret(*F, Args);
+        if (!Before.sameObservable(After)) {
+          std::fprintf(stderr,
+                       "MISCOMPILE: %s under %s (inputs differ in "
+                       "observable trace)\n",
+                       W.Name.c_str(), Config.Name.c_str());
+          std::abort();
+        }
+      }
+  }
+  return Totals;
+}
+
+/// One column of a paper-style table.
+struct Column {
+  std::string Header;
+  std::function<uint64_t(const std::vector<Workload> &)> Measure;
+};
+
+/// Prints a table in the paper's format: the first column absolute, the
+/// others as signed deltas against it.
+inline void printDeltaTable(const std::string &Title,
+                            const std::vector<Column> &Columns,
+                            const char *Footnote = nullptr) {
+  std::printf("\n%s\n", Title.c_str());
+  std::printf("%-14s", "benchmark");
+  for (const Column &C : Columns)
+    std::printf("%16s", C.Header.c_str());
+  std::printf("\n");
+  for (const auto &[Name, Suite] : suites()) {
+    std::printf("%-14s", Name.c_str());
+    uint64_t Base = 0;
+    for (size_t K = 0; K < Columns.size(); ++K) {
+      uint64_t V = Columns[K].Measure(Suite);
+      if (K == 0) {
+        Base = V;
+        std::printf("%16llu", static_cast<unsigned long long>(V));
+      } else {
+        long long Delta = static_cast<long long>(V) -
+                          static_cast<long long>(Base);
+        std::printf("%+16lld", Delta);
+      }
+    }
+    std::printf("\n");
+  }
+  if (Footnote)
+    std::printf("%s\n", Footnote);
+  std::fflush(stdout);
+}
+
+} // namespace bench
+} // namespace lao
+
+#endif // LAO_BENCH_BENCHUTIL_H

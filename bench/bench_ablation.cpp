@@ -1,0 +1,118 @@
+//===- bench_ablation.cpp - Design-choice ablations ----------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablations of the design choices DESIGN.md calls out, beyond the
+// paper's own Table 5 variants:
+//
+//  * pruning heuristic: the paper's weighted greedy vs an arbitrary
+//    positive-weight pick;
+//  * physical-class merging threshold (Figure 8 partial coalescing):
+//    always / strong-affinity-only (default) / never;
+//  * the [LIM2] use-pin pre-pass on vs off.
+//
+// All measured as residual moves after the full pipeline with cleanup
+// coalescing, so the numbers answer "does the decision matter once an
+// aggressive coalescer runs afterwards".
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lao;
+using namespace lao::bench;
+
+namespace {
+
+struct Ablation {
+  const char *Name;
+  PipelineConfig Config;
+};
+
+std::vector<Ablation> ablations() {
+  std::vector<Ablation> List;
+  {
+    Ablation A{"paper-default", pipelinePreset("Lphi,ABI+C")};
+    List.push_back(A);
+  }
+  {
+    Ablation A{"prune-firstfound", pipelinePreset("Lphi,ABI+C")};
+    A.Config.PhiOpts.Heuristic = PruneHeuristic::FirstFound;
+    List.push_back(A);
+  }
+  {
+    Ablation A{"phys-merge-always", pipelinePreset("Lphi,ABI+C")};
+    A.Config.PhiOpts.PhysMergeMinMult = 1;
+    List.push_back(A);
+  }
+  {
+    Ablation A{"phys-merge-never", pipelinePreset("Lphi,ABI+C")};
+    A.Config.PhiOpts.PhysMergeMinMult = ~0u;
+    List.push_back(A);
+  }
+  {
+    Ablation A{"lim2-usepin-prepass", pipelinePreset("Lphi,ABI+C")};
+    A.Config.PhiOpts.UsePinAffinity = true;
+    List.push_back(A);
+  }
+  return List;
+}
+
+void printAblationTable() {
+  std::printf("\nAblation: residual moves after full pipeline (+C)\n");
+  std::printf("%-14s", "benchmark");
+  for (const Ablation &A : ablations())
+    std::printf("%20s", A.Name);
+  std::printf("\n");
+  for (const auto &[Name, Suite] : suites()) {
+    std::printf("%-14s", Name.c_str());
+    uint64_t Base = 0;
+    bool First = true;
+    for (const Ablation &A : ablations()) {
+      uint64_t Moves = runOnSuite(Suite, A.Config).Moves;
+      if (First) {
+        Base = Moves;
+        std::printf("%20llu", static_cast<unsigned long long>(Moves));
+        First = false;
+      } else {
+        std::printf("%+20lld", static_cast<long long>(Moves) -
+                                   static_cast<long long>(Base));
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void registerBenchmarks() {
+  for (const auto &[Name, Suite] : suites()) {
+    (void)Suite;
+    for (const Ablation &A : ablations())
+      benchmark::RegisterBenchmark(
+          ("Ablation/" + Name + "/" + A.Name).c_str(),
+          [Name = Name, Config = A.Config](benchmark::State &S) {
+            const std::vector<Workload> *Found = nullptr;
+            for (const auto &[N, Members] : suites())
+              if (N == Name)
+                Found = &Members;
+            for (auto _ : S) {
+              SuiteTotals T = runOnSuite(*Found, Config);
+              benchmark::DoNotOptimize(T.Moves);
+            }
+          });
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printAblationTable();
+  registerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

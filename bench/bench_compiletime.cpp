@@ -1,0 +1,76 @@
+//===- bench_compiletime.cpp - Section 5 compile-time discussion --------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's compile-time argument ([CC3] and the Table 4 discussion):
+// the repeated register coalescer's cost is proportional to the number
+// of move instructions it has to process, so handling coalescing at the
+// SSA level shrinks the expensive phase. This bench (a) prints the
+// coalescer's share of pipeline time and its merge counts for the pinned
+// vs naive configurations, and (b) registers google-benchmark timings of
+// the full pipelines.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lao;
+using namespace lao::bench;
+
+namespace {
+
+void printCompileTimeTable() {
+  std::printf("\nCompile-time proxy: aggressive-coalescer workload\n");
+  std::printf("%-14s %22s %22s\n", "benchmark", "pinned(merges/moves-in)",
+              "naive(merges/moves-in)");
+  for (const auto &[Name, Suite] : suites()) {
+    SuiteTotals Pinned = runOnSuite(Suite, pipelinePreset("Lphi,ABI+C"));
+    SuiteTotals Naive = runOnSuite(Suite, pipelinePreset("C,naiveABI+C"));
+    std::printf("%-14s %11llu /%9llu %11llu /%9llu\n", Name.c_str(),
+                static_cast<unsigned long long>(Pinned.CoalescerMerges),
+                static_cast<unsigned long long>(Pinned.MovesBeforeCoalesce),
+                static_cast<unsigned long long>(Naive.CoalescerMerges),
+                static_cast<unsigned long long>(Naive.MovesBeforeCoalesce));
+  }
+  std::fflush(stdout);
+}
+
+void registerBenchmarks() {
+  for (const auto &[Name, Suite] : suites()) {
+    (void)Suite;
+    for (const char *Preset :
+         {"Lphi,ABI+C", "LABI+C", "C,naiveABI+C", "Sphi+LABI+C"})
+      benchmark::RegisterBenchmark(
+          ("Pipeline/" + Name + "/" + Preset).c_str(),
+          [Name = Name, Preset](benchmark::State &S) {
+            const std::vector<Workload> *Found = nullptr;
+            for (const auto &[N, Members] : suites())
+              if (N == Name)
+                Found = &Members;
+            double CoalesceSeconds = 0;
+            uint64_t Runs = 0;
+            for (auto _ : S) {
+              SuiteTotals T = runOnSuite(*Found, pipelinePreset(Preset));
+              CoalesceSeconds += T.CoalesceSeconds;
+              ++Runs;
+              benchmark::DoNotOptimize(T.Moves);
+            }
+            S.counters["coalesce_s"] =
+                benchmark::Counter(Runs ? CoalesceSeconds / Runs : 0);
+          });
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printCompileTimeTable();
+  registerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- bench_table2.cpp - Paper Table 2 reproduction -------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 2: "Comparison of move instruction count with no ABI constraint."
+// Columns: Lphi+C (ours, absolute), C (delta), Sphi+C (delta). The SP
+// constraint is always applied, as in the paper. Expected shape: Lphi+C
+// <= C everywhere; Sphi+C close (the paper reports it slightly worse on
+// most suites and slightly better on SPECint).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lao;
+using namespace lao::bench;
+
+namespace {
+
+uint64_t movesOf(const std::vector<Workload> &Suite, const char *Preset) {
+  return runOnSuite(Suite, pipelinePreset(Preset)).Moves;
+}
+
+void BM_Table2Config(benchmark::State &State, const std::string &SuiteName,
+                     const char *Preset) {
+  const std::vector<Workload> *Suite = nullptr;
+  for (const auto &[Name, S] : suites())
+    if (Name == SuiteName)
+      Suite = &S;
+  for (auto _ : State) {
+    SuiteTotals T = runOnSuite(*Suite, pipelinePreset(Preset));
+    benchmark::DoNotOptimize(T.Moves);
+  }
+}
+
+void registerBenchmarks() {
+  for (const auto &[Name, Suite] : suites())
+    for (const char *Preset : {"Lphi+C", "C", "Sphi+C"}) {
+      (void)Suite;
+      benchmark::RegisterBenchmark(
+          ("Table2/" + Name + "/" + Preset).c_str(),
+          [Name = Name, Preset](benchmark::State &S) {
+            BM_Table2Config(S, Name, Preset);
+          });
+    }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printDeltaTable(
+      "Table 2: move instruction count with no ABI constraint",
+      {{"Lphi+C", [](const auto &S) { return movesOf(S, "Lphi+C"); }},
+       {"C", [](const auto &S) { return movesOf(S, "C"); }},
+       {"Sphi+C", [](const auto &S) { return movesOf(S, "Sphi+C"); }}},
+      "(Sphi+C is an optimistic approximation, as in the paper: the\n"
+      " Sreedhar conversion is not dedicated-register safe.)");
+
+  registerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

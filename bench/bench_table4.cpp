@@ -1,0 +1,64 @@
+//===- bench_table4.cpp - Paper Table 4 reproduction -------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 4: "Order of magnitude" — the moves a later repeated-coalescing
+// phase would have to chew through if phis and the ABI were lowered
+// naively, versus the residual of the pinned translation. Columns:
+// Lphi,ABI (absolute residual, no cleanup), Sphi (ABI lowered naively:
+// remaining "ABI moves"), LABI (phis replaced without coalescing:
+// remaining "phi moves"). The paper's point [CC3]: the repeated
+// coalescer's cost is proportional to these counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lao;
+using namespace lao::bench;
+
+namespace {
+
+uint64_t movesOf(const std::vector<Workload> &Suite, const char *Preset) {
+  return runOnSuite(Suite, pipelinePreset(Preset)).Moves;
+}
+
+void registerBenchmarks() {
+  for (const auto &[Name, Suite] : suites()) {
+    (void)Suite;
+    for (const char *Preset : {"Lphi,ABI", "Sphi", "LABI"})
+      benchmark::RegisterBenchmark(
+          ("Table4/" + Name + "/" + Preset).c_str(),
+          [Name = Name, Preset](benchmark::State &S) {
+            const std::vector<Workload> *Found = nullptr;
+            for (const auto &[N, Members] : suites())
+              if (N == Name)
+                Found = &Members;
+            for (auto _ : S) {
+              SuiteTotals T = runOnSuite(*Found, pipelinePreset(Preset));
+              benchmark::DoNotOptimize(T.Moves);
+            }
+          });
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printDeltaTable(
+      "Table 4: moves left for a post coalescer under naive lowering",
+      {{"Lphi,ABI", [](const auto &S) { return movesOf(S, "Lphi,ABI"); }},
+       {"Sphi(ABI mov)", [](const auto &S) { return movesOf(S, "Sphi"); }},
+       {"LABI(phi mov)", [](const auto &S) { return movesOf(S, "LABI"); }}},
+      "(columns 2 and 3 are deltas: the extra ABI moves left by Sphi and\n"
+      " the extra phi moves left by LABI, as in the paper's Table 4)");
+
+  registerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

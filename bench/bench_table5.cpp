@@ -1,0 +1,76 @@
+//===- bench_table5.cpp - Paper Table 5 reproduction -------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 5: "Weighted count of move instructions on variants of our
+// algorithm." Moves weigh 5^depth (a static 5-iterations-per-loop
+// approximation). Columns: base (the full algorithm without the cleanup
+// coalescer, absolute), depth (Algorithm 3: per-depth affinity graphs),
+// opt / pess (Algorithm 4: optimistic / pessimistic interference).
+// Expected shape: depth approximately neutral, opt slightly worse,
+// pess dramatically worse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lao;
+using namespace lao::bench;
+
+namespace {
+
+PipelineConfig variantConfig(const std::string &Variant) {
+  PipelineConfig C = pipelinePreset("Lphi,ABI");
+  C.Name = "Lphi,ABI(" + Variant + ")";
+  if (Variant == "depth")
+    C.PhiOpts.DepthConstrained = true;
+  else if (Variant == "opt")
+    C.Mode = InterferenceMode::Optimistic;
+  else if (Variant == "pess")
+    C.Mode = InterferenceMode::Pessimistic;
+  return C;
+}
+
+uint64_t weightedOf(const std::vector<Workload> &Suite,
+                    const std::string &Variant) {
+  return runOnSuite(Suite, variantConfig(Variant)).WeightedMoves;
+}
+
+void registerBenchmarks() {
+  for (const auto &[Name, Suite] : suites()) {
+    (void)Suite;
+    for (const char *Variant : {"base", "depth", "opt", "pess"})
+      benchmark::RegisterBenchmark(
+          ("Table5/" + Name + "/" + Variant).c_str(),
+          [Name = Name, Variant](benchmark::State &S) {
+            const std::vector<Workload> *Found = nullptr;
+            for (const auto &[N, Members] : suites())
+              if (N == Name)
+                Found = &Members;
+            for (auto _ : S) {
+              SuiteTotals T = runOnSuite(*Found, variantConfig(Variant));
+              benchmark::DoNotOptimize(T.WeightedMoves);
+            }
+          });
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printDeltaTable(
+      "Table 5: 5^depth-weighted move count, variants of the algorithm",
+      {{"base", [](const auto &S) { return weightedOf(S, "base"); }},
+       {"depth", [](const auto &S) { return weightedOf(S, "depth"); }},
+       {"opt", [](const auto &S) { return weightedOf(S, "opt"); }},
+       {"pess", [](const auto &S) { return weightedOf(S, "pess"); }}});
+
+  registerBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- Dominators.cpp - Dominator tree and dominance frontiers --------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lao;
+
+DominatorTree::DominatorTree(const CFG &Cfg) : Cfg(Cfg) {
+  const Function &F = Cfg.func();
+  size_t N = F.numBlocks();
+  Idom.assign(N, nullptr);
+  Depth.assign(N, 0);
+  Children.resize(N);
+  DfsIn.assign(N, 0);
+  DfsOut.assign(N, 0);
+  if (N == 0)
+    return;
+
+  // Cooper-Harvey-Kennedy iteration over reverse post-order.
+  const std::vector<BasicBlock *> &Rpo = Cfg.rpo();
+  BasicBlock *Entry = &Cfg.func().entry();
+  Idom[Entry->id()] = Entry;
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (Cfg.rpoIndex(A) > Cfg.rpoIndex(B))
+        A = Idom[A->id()];
+      while (Cfg.rpoIndex(B) > Cfg.rpoIndex(A))
+        B = Idom[B->id()];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : Rpo) {
+      if (BB == Entry || !Cfg.isReachable(BB))
+        continue;
+      BasicBlock *NewIdom = nullptr;
+      for (BasicBlock *P : Cfg.preds(BB)) {
+        if (!Idom[P->id()])
+          continue; // Not yet processed or unreachable.
+        NewIdom = NewIdom ? Intersect(P, NewIdom) : P;
+      }
+      if (NewIdom && Idom[BB->id()] != NewIdom) {
+        Idom[BB->id()] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Entry's idom is conventionally null for tree purposes.
+  Idom[Entry->id()] = nullptr;
+
+  // Build children lists and DFS numbering for O(1) dominance queries.
+  for (const auto &BB : F.blocks())
+    if (Idom[BB->id()])
+      Children[Idom[BB->id()]->id()].push_back(BB.get());
+
+  unsigned Clock = 0;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  Stack.push_back({Entry, 0});
+  DfsIn[Entry->id()] = ++Clock;
+  while (!Stack.empty()) {
+    auto &[BB, NextChild] = Stack.back();
+    auto &Kids = Children[BB->id()];
+    if (NextChild < Kids.size()) {
+      BasicBlock *Child = Kids[NextChild++];
+      DfsIn[Child->id()] = ++Clock;
+      Depth[Child->id()] = Depth[BB->id()] + 1;
+      Stack.push_back({Child, 0});
+      continue;
+    }
+    DfsOut[BB->id()] = ++Clock;
+    Stack.pop_back();
+  }
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  // Unreachable blocks dominate nothing and are dominated by nothing.
+  if (DfsIn[A->id()] == 0 || DfsIn[B->id()] == 0)
+    return false;
+  return DfsIn[A->id()] <= DfsIn[B->id()] &&
+         DfsOut[B->id()] <= DfsOut[A->id()];
+}
+
+DominanceFrontier::DominanceFrontier(const CFG &Cfg,
+                                     const DominatorTree &DT) {
+  const Function &F = Cfg.func();
+  Frontier.resize(F.numBlocks());
+  for (const auto &BB : F.blocks()) {
+    const auto &Preds = Cfg.preds(BB.get());
+    if (Preds.size() < 2)
+      continue;
+    for (BasicBlock *P : Preds) {
+      if (!Cfg.isReachable(P))
+        continue;
+      BasicBlock *Runner = P;
+      while (Runner && Runner != DT.idom(BB.get())) {
+        auto &Fr = Frontier[Runner->id()];
+        if (std::find(Fr.begin(), Fr.end(), BB.get()) == Fr.end())
+          Fr.push_back(BB.get());
+        Runner = DT.idom(Runner);
+      }
+    }
+  }
+}

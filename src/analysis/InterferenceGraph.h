@@ -1,0 +1,60 @@
+//===- InterferenceGraph.h - Post-SSA interference graph --------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chaitin-style interference graph for non-SSA code, used by the
+/// aggressive "repeated register coalescing" baseline (the paper's [C]
+/// configurations). Two registers interfere when one is defined at a point
+/// where the other is live, except that the destination of a move does not
+/// interfere with its source at that move (Chaitin's refinement).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_ANALYSIS_INTERFERENCEGRAPH_H
+#define LAO_ANALYSIS_INTERFERENCEGRAPH_H
+
+#include "analysis/Liveness.h"
+#include "ir/Function.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace lao {
+
+/// Undirected interference graph over register ids.
+class InterferenceGraph {
+public:
+  /// Builds the graph for non-SSA code (no phis; parallel copies allowed).
+  InterferenceGraph(const Function &F, const Liveness &LV);
+
+  bool interfere(RegId A, RegId B) const {
+    if (A == B)
+      return false;
+    const auto &Set = Adj[A];
+    return Set.find(B) != Set.end();
+  }
+
+  /// Merges \p B into \p A: A acquires all of B's edges. Used after
+  /// coalescing a move (a simple vertex-merge, as Section 3.5 notes).
+  void mergeInto(RegId A, RegId B);
+
+  size_t numNodes() const { return Adj.size(); }
+  const std::unordered_set<RegId> &neighbors(RegId A) const { return Adj[A]; }
+
+  void addEdge(RegId A, RegId B) {
+    if (A == B)
+      return;
+    Adj[A].insert(B);
+    Adj[B].insert(A);
+  }
+
+private:
+  std::vector<std::unordered_set<RegId>> Adj;
+};
+
+} // namespace lao
+
+#endif // LAO_ANALYSIS_INTERFERENCEGRAPH_H

@@ -1,0 +1,115 @@
+//===- Liveness.cpp - Block-level liveness with phi semantics ----------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace lao;
+
+Liveness::Liveness(const CFG &Cfg) : Cfg(Cfg) {
+  const Function &F = Cfg.func();
+  size_t NB = F.numBlocks();
+  size_t NV = F.numValues();
+  LiveIn.assign(NB, BitVector(NV));
+  LiveOut.assign(NB, BitVector(NV));
+
+  // Per-block upward-exposed uses and defs. Phi results count as defs of
+  // their block (they are defined at entry); phi arguments are not uses of
+  // the phi's block.
+  std::vector<BitVector> UeUses(NB, BitVector(NV));
+  std::vector<BitVector> Defs(NB, BitVector(NV));
+  for (const auto &BB : F.blocks()) {
+    BitVector &UE = UeUses[BB->id()];
+    BitVector &DF = Defs[BB->id()];
+    for (const Instruction &I : BB->instructions()) {
+      if (I.isPhi()) {
+        DF.set(I.def(0));
+        continue;
+      }
+      if (I.isParCopy()) {
+        // All sources read before any destination is written.
+        for (RegId U : I.uses())
+          if (!DF.test(U))
+            UE.set(U);
+        for (RegId D : I.defs())
+          DF.set(D);
+        continue;
+      }
+      for (RegId U : I.uses())
+        if (!DF.test(U))
+          UE.set(U);
+      for (RegId D : I.defs())
+        DF.set(D);
+    }
+  }
+
+  // Phi argument contribution to predecessor live-out.
+  std::vector<BitVector> PhiOut(NB, BitVector(NV));
+  for (const auto &BB : F.blocks()) {
+    for (const Instruction &I : BB->instructions()) {
+      if (!I.isPhi())
+        break;
+      for (unsigned K = 0; K < I.numUses(); ++K)
+        PhiOut[I.incomingBlock(K)->id()].set(I.use(K));
+    }
+  }
+
+  // Iterate to fixpoint in post-order (reverse RPO) for fast convergence.
+  const auto &Rpo = Cfg.rpo();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Rpo.rbegin(); It != Rpo.rend(); ++It) {
+      BasicBlock *BB = *It;
+      BitVector Out = PhiOut[BB->id()];
+      for (BasicBlock *S : Cfg.succs(BB))
+        Out.orWith(LiveIn[S->id()]);
+      BitVector In = Out;
+      In.subtract(Defs[BB->id()]);
+      In.orWith(UeUses[BB->id()]);
+      if (!(Out == LiveOut[BB->id()])) {
+        LiveOut[BB->id()] = std::move(Out);
+        Changed = true;
+      }
+      if (!(In == LiveIn[BB->id()])) {
+        LiveIn[BB->id()] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Liveness::isLiveAfter(RegId V, const BasicBlock *BB,
+                           BasicBlock::InstList::const_iterator Pos) const {
+  // Scan forward from the instruction after Pos: V is live iff it is used
+  // before being fully redefined, or it survives to the block end.
+  auto It = Pos;
+  ++It;
+  for (auto End = BB->instructions().end(); It != End; ++It) {
+    const Instruction &I = *It;
+    assert(!I.isPhi() && "phi after non-phi position");
+    for (RegId U : I.uses())
+      if (U == V)
+        return true;
+    for (RegId D : I.defs())
+      if (D == V)
+        return false; // Redefined before any use.
+  }
+  return isLiveOut(V, BB);
+}
+
+bool Liveness::isLiveBefore(RegId V, const BasicBlock *BB,
+                            BasicBlock::InstList::const_iterator Pos) const {
+  for (auto It = Pos, End = BB->instructions().end(); It != End; ++It) {
+    const Instruction &I = *It;
+    for (RegId U : I.uses())
+      if (U == V && !I.isPhi())
+        return true;
+    for (RegId D : I.defs())
+      if (D == V)
+        return false;
+  }
+  return isLiveOut(V, BB);
+}

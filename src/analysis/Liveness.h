@@ -1,0 +1,72 @@
+//===- Liveness.h - Block-level liveness with phi semantics -----*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative backward liveness over the mini-LAI IR. Phi semantics follow
+/// the paper (Section 3.2, Class 2): "a phi instruction does not occur
+/// where it textually appears, but at the end of each predecessor basic
+/// block instead". So a phi argument is live-out of the corresponding
+/// predecessor and *not* live-in of the phi's block, and a phi result is
+/// defined at its block's entry.
+///
+/// The same solver handles non-SSA (post-translation) code: it simply has
+/// no phis, and ParCopy instructions read all sources before writing all
+/// destinations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_ANALYSIS_LIVENESS_H
+#define LAO_ANALYSIS_LIVENESS_H
+
+#include "ir/CFG.h"
+#include "ir/Function.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace lao {
+
+/// Liveness sets for every block of a function.
+class Liveness {
+public:
+  explicit Liveness(const CFG &Cfg);
+
+  const BitVector &liveIn(const BasicBlock *BB) const {
+    return LiveIn[BB->id()];
+  }
+  const BitVector &liveOut(const BasicBlock *BB) const {
+    return LiveOut[BB->id()];
+  }
+
+  bool isLiveIn(RegId V, const BasicBlock *BB) const {
+    return LiveIn[BB->id()].test(V);
+  }
+  bool isLiveOut(RegId V, const BasicBlock *BB) const {
+    return LiveOut[BB->id()].test(V);
+  }
+
+  /// Returns true if \p V is live immediately *after* instruction \p Pos
+  /// of block \p BB (i.e. at the program point following it). Phi uses
+  /// count as uses at the end of the predecessor block, and are therefore
+  /// covered by the liveOut component.
+  bool isLiveAfter(RegId V, const BasicBlock *BB,
+                   BasicBlock::InstList::const_iterator Pos) const;
+
+  /// Returns true if \p V is live immediately *before* instruction \p Pos.
+  bool isLiveBefore(RegId V, const BasicBlock *BB,
+                    BasicBlock::InstList::const_iterator Pos) const;
+
+  const CFG &cfg() const { return Cfg; }
+
+private:
+  const CFG &Cfg;
+  std::vector<BitVector> LiveIn;
+  std::vector<BitVector> LiveOut;
+};
+
+} // namespace lao
+
+#endif // LAO_ANALYSIS_LIVENESS_H

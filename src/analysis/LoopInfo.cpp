@@ -1,0 +1,55 @@
+//===- LoopInfo.cpp - Natural loop nesting -----------------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <map>
+#include <set>
+
+using namespace lao;
+
+LoopInfo::LoopInfo(const CFG &Cfg, const DominatorTree &DT) {
+  const Function &F = Cfg.func();
+  size_t N = F.numBlocks();
+  Depths.assign(N, 0);
+  Header.assign(N, false);
+
+  // Collect natural loop bodies, merged per header.
+  std::map<BasicBlock *, std::set<BasicBlock *>> Loops;
+  for (const auto &BB : F.blocks()) {
+    if (!Cfg.isReachable(BB.get()))
+      continue;
+    for (BasicBlock *S : Cfg.succs(BB.get())) {
+      if (!DT.dominates(S, BB.get()))
+        continue;
+      // Back edge BB -> S: natural loop = S plus all blocks that reach BB
+      // without passing through S.
+      std::set<BasicBlock *> &Body = Loops[S];
+      Body.insert(S);
+      std::vector<BasicBlock *> Work;
+      if (!Body.count(BB.get())) {
+        Body.insert(BB.get());
+        Work.push_back(BB.get());
+      }
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        if (Cur == S)
+          continue;
+        for (BasicBlock *P : Cfg.preds(Cur))
+          if (Cfg.isReachable(P) && Body.insert(P).second)
+            Work.push_back(P);
+      }
+    }
+  }
+
+  NumLoops = static_cast<unsigned>(Loops.size());
+  for (auto &[Head, Body] : Loops) {
+    Header[Head->id()] = true;
+    for (BasicBlock *Member : Body)
+      ++Depths[Member->id()];
+  }
+}

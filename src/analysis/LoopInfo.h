@@ -1,0 +1,46 @@
+//===- LoopInfo.h - Natural loop nesting ------------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection and per-block nesting depth. The paper's
+/// algorithm visits confluence points "based on an inner to outer loop
+/// traversal" (Section 3) and Table 5 weighs each move instruction by
+/// 5^depth; both consume this analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_ANALYSIS_LOOPINFO_H
+#define LAO_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <vector>
+
+namespace lao {
+
+/// Per-block natural loop nesting information.
+class LoopInfo {
+public:
+  LoopInfo(const CFG &Cfg, const DominatorTree &DT);
+
+  /// Loop nesting depth of \p BB (0 = not in any loop).
+  unsigned depth(const BasicBlock *BB) const { return Depths[BB->id()]; }
+
+  /// Returns true if \p BB is a natural loop header.
+  bool isHeader(const BasicBlock *BB) const { return Header[BB->id()]; }
+
+  /// Number of distinct loop headers found.
+  unsigned numLoops() const { return NumLoops; }
+
+private:
+  std::vector<unsigned> Depths;
+  std::vector<bool> Header;
+  unsigned NumLoops = 0;
+};
+
+} // namespace lao
+
+#endif // LAO_ANALYSIS_LOOPINFO_H

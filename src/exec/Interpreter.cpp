@@ -1,0 +1,293 @@
+//===- Interpreter.cpp - Mini-LAI interpreter ----------------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace lao;
+
+uint64_t lao::builtinCall(const std::string &Callee,
+                          const std::vector<uint64_t> &Args) {
+  // FNV-1a over the name, then mix in each argument (order-sensitive).
+  uint64_t H = 0xCBF29CE484222325ULL;
+  for (char C : Callee) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001B3ULL;
+  }
+  for (uint64_t A : Args) {
+    H ^= A + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+    H *= 0x100000001B3ULL;
+  }
+  return H;
+}
+
+namespace {
+
+/// Machine state during interpretation.
+struct Machine {
+  const Function &F;
+  std::vector<uint64_t> Regs;
+  std::vector<bool> Defined;
+  std::unordered_map<uint64_t, uint64_t> Memory;
+  ExecResult Result;
+
+  explicit Machine(const Function &F)
+      : F(F), Regs(F.numValues(), 0), Defined(F.numValues(), false) {
+    // SP starts at a fixed frame base; all other registers start
+    // undefined so that clobbered-value bugs surface as errors.
+    Regs[Target::SP] = 0x100000;
+    Defined[Target::SP] = true;
+  }
+
+  bool fail(const std::string &Msg) {
+    Result.Ok = false;
+    if (Result.Error.empty())
+      Result.Error = Msg;
+    return false;
+  }
+
+  bool read(RegId R, uint64_t &Out) {
+    if (!Defined[R])
+      return fail("read of undefined register %" + F.valueName(R));
+    Out = Regs[R];
+    return true;
+  }
+
+  void write(RegId R, uint64_t V) {
+    Regs[R] = V;
+    Defined[R] = true;
+  }
+};
+
+} // namespace
+
+ExecResult lao::interpret(const Function &F,
+                          const std::vector<uint64_t> &Args,
+                          uint64_t MaxSteps) {
+  Machine M(F);
+  M.Result.Ok = true;
+
+  const BasicBlock *BB = &F.entry();
+  const BasicBlock *PrevBB = nullptr;
+  auto It = BB->instructions().begin();
+
+  std::vector<uint64_t> Scratch;
+
+  while (true) {
+    if (It == BB->instructions().end()) {
+      M.fail("fell off the end of block " + BB->name());
+      break;
+    }
+    if (++M.Result.Steps > MaxSteps) {
+      M.fail("step limit exceeded");
+      break;
+    }
+    const Instruction &I = *It;
+
+    // Phi group: evaluate all phis of the block in parallel using the
+    // values at the end of the predecessor we came from.
+    if (I.isPhi()) {
+      Scratch.clear();
+      std::vector<const Instruction *> Phis;
+      for (auto PIt = It; PIt != BB->instructions().end() && PIt->isPhi();
+           ++PIt)
+        Phis.push_back(&*PIt);
+      bool Failed = false;
+      for (const Instruction *P : Phis) {
+        bool FoundPred = false;
+        for (unsigned K = 0; K < P->numUses(); ++K) {
+          if (P->incomingBlock(K) != PrevBB)
+            continue;
+          uint64_t V;
+          if (!M.read(P->use(K), V)) {
+            Failed = true;
+            break;
+          }
+          Scratch.push_back(V);
+          FoundPred = true;
+          break;
+        }
+        if (Failed)
+          break;
+        if (!FoundPred) {
+          M.fail(formatStr("phi in %s has no entry for predecessor %s",
+                           BB->name().c_str(),
+                           PrevBB ? PrevBB->name().c_str() : "<entry>"));
+          Failed = true;
+          break;
+        }
+      }
+      if (Failed)
+        break;
+      for (size_t K = 0; K < Phis.size(); ++K)
+        M.write(Phis[K]->def(0), Scratch[K]);
+      for (size_t K = 0; K < Phis.size(); ++K)
+        ++It;
+      M.Result.Steps += Phis.size() - 1;
+      continue;
+    }
+
+    bool Advance = true;
+    switch (I.op()) {
+    case Opcode::Input: {
+      if (Args.size() != I.numDefs()) {
+        M.fail(formatStr("input expects %u arguments, got %zu", I.numDefs(),
+                         Args.size()));
+        break;
+      }
+      for (unsigned K = 0; K < I.numDefs(); ++K)
+        M.write(I.def(K), Args[K]);
+      break;
+    }
+    case Opcode::Make:
+      M.write(I.def(0), static_cast<uint64_t>(I.imm()));
+      break;
+    case Opcode::Mov: {
+      uint64_t V;
+      if (M.read(I.use(0), V))
+        M.write(I.def(0), V);
+      break;
+    }
+    case Opcode::ParCopy: {
+      Scratch.clear();
+      bool ReadOk = true;
+      for (RegId U : I.uses()) {
+        uint64_t V;
+        ReadOk &= M.read(U, V);
+        Scratch.push_back(V);
+      }
+      if (!ReadOk)
+        break;
+      for (unsigned K = 0; K < I.numDefs(); ++K)
+        M.write(I.def(K), Scratch[K]);
+      break;
+    }
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+    case Opcode::CmpLT:
+    case Opcode::CmpEQ: {
+      uint64_t A, B;
+      if (!M.read(I.use(0), A) || !M.read(I.use(1), B))
+        break;
+      uint64_t R = 0;
+      switch (I.op()) {
+      case Opcode::Add: R = A + B; break;
+      case Opcode::Sub: R = A - B; break;
+      case Opcode::Mul: R = A * B; break;
+      case Opcode::And: R = A & B; break;
+      case Opcode::Or:  R = A | B; break;
+      case Opcode::Xor: R = A ^ B; break;
+      case Opcode::Shl: R = A << (B & 63); break;
+      case Opcode::Shr: R = A >> (B & 63); break;
+      case Opcode::CmpLT:
+        R = static_cast<int64_t>(A) < static_cast<int64_t>(B) ? 1 : 0;
+        break;
+      case Opcode::CmpEQ: R = A == B ? 1 : 0; break;
+      default: break;
+      }
+      M.write(I.def(0), R);
+      break;
+    }
+    case Opcode::AddI:
+    case Opcode::AutoAdd:
+    case Opcode::SpAdjust: {
+      uint64_t A;
+      if (M.read(I.use(0), A))
+        M.write(I.def(0), A + static_cast<uint64_t>(I.imm()));
+      break;
+    }
+    case Opcode::More: {
+      uint64_t A;
+      if (M.read(I.use(0), A))
+        M.write(I.def(0),
+                A | (static_cast<uint64_t>(I.imm()) & 0xFFFF) << 16);
+      break;
+    }
+    case Opcode::Load: {
+      uint64_t Addr;
+      if (!M.read(I.use(0), Addr))
+        break;
+      auto Found = M.Memory.find(Addr);
+      // Unwritten memory reads as a deterministic address hash, so load
+      // results are stable without requiring initialized heaps.
+      uint64_t V = Found != M.Memory.end()
+                       ? Found->second
+                       : (Addr * 0x9E3779B97F4A7C15ULL) ^ 0xA5A5A5A5ULL;
+      M.write(I.def(0), V);
+      break;
+    }
+    case Opcode::Store: {
+      uint64_t Addr, V;
+      if (M.read(I.use(0), Addr) && M.read(I.use(1), V))
+        M.Memory[Addr] = V;
+      break;
+    }
+    case Opcode::Call: {
+      Scratch.clear();
+      bool ReadOk = true;
+      for (RegId U : I.uses()) {
+        uint64_t V;
+        ReadOk &= M.read(U, V);
+        Scratch.push_back(V);
+      }
+      if (ReadOk)
+        M.write(I.def(0), builtinCall(I.callee(), Scratch));
+      break;
+    }
+    case Opcode::Psi: {
+      uint64_t P, A, B;
+      if (M.read(I.use(0), P) && M.read(I.use(1), A) && M.read(I.use(2), B))
+        M.write(I.def(0), P != 0 ? A : B);
+      break;
+    }
+    case Opcode::Output: {
+      uint64_t V;
+      if (M.read(I.use(0), V))
+        M.Result.Outputs.push_back(V);
+      break;
+    }
+    case Opcode::Ret: {
+      uint64_t V;
+      if (M.read(I.use(0), V))
+        M.Result.RetValue = V;
+      return M.Result;
+    }
+    case Opcode::Jump:
+      PrevBB = BB;
+      BB = I.target(0);
+      It = BB->instructions().begin();
+      Advance = false;
+      break;
+    case Opcode::Branch: {
+      uint64_t C;
+      if (!M.read(I.use(0), C))
+        break;
+      PrevBB = BB;
+      BB = C != 0 ? I.target(0) : I.target(1);
+      It = BB->instructions().begin();
+      Advance = false;
+      break;
+    }
+    case Opcode::Phi:
+      break; // Handled above.
+    }
+
+    if (!M.Result.Ok)
+      break;
+    if (Advance)
+      ++It;
+  }
+  return M.Result;
+}

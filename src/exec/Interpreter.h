@@ -1,0 +1,58 @@
+//===- Interpreter.h - Mini-LAI interpreter ---------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic interpreter for mini-LAI functions, in SSA form (phi and
+/// psi supported, with parallel phi semantics) or after out-of-SSA
+/// translation (parallel copies supported). Used as the correctness oracle:
+/// every out-of-SSA algorithm must preserve the full observable trace
+/// (output values, return value) for all inputs.
+///
+/// Calls are executed as a deterministic pure built-in (a hash of the
+/// callee name and argument values), so traces are reproducible without a
+/// callee body. Reads of never-written registers are reported as errors,
+/// which catches translations that clobber a live value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_EXEC_INTERPRETER_H
+#define LAO_EXEC_INTERPRETER_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lao {
+
+/// Result of interpreting a function.
+struct ExecResult {
+  bool Ok = false;            ///< False on runtime error (see Error).
+  std::string Error;          ///< Diagnostic when !Ok.
+  std::vector<uint64_t> Outputs; ///< Values emitted by `output`.
+  uint64_t RetValue = 0;      ///< Value of `ret`.
+  uint64_t Steps = 0;         ///< Instructions executed.
+
+  bool sameObservable(const ExecResult &Other) const {
+    return Ok && Other.Ok && Outputs == Other.Outputs &&
+           RetValue == Other.RetValue;
+  }
+};
+
+/// Interprets \p F with the given arguments (bound to the entry `input`
+/// instruction). \p MaxSteps bounds execution.
+ExecResult interpret(const Function &F, const std::vector<uint64_t> &Args,
+                     uint64_t MaxSteps = 1u << 22);
+
+/// The deterministic built-in used for `call` instructions; exposed so
+/// tests can predict call results.
+uint64_t builtinCall(const std::string &Callee,
+                     const std::vector<uint64_t> &Args);
+
+} // namespace lao
+
+#endif // LAO_EXEC_INTERPRETER_H

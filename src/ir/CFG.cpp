@@ -1,0 +1,124 @@
+//===- CFG.cpp - Control-flow graph view and edge utilities ---------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace lao;
+
+CFG::CFG(Function &F) : F(F) {
+  size_t N = F.numBlocks();
+  Preds.resize(N);
+  Succs.resize(N);
+  RpoIndex.assign(N, ~0u);
+  Reachable.assign(N, false);
+
+  for (const auto &BB : F.blocks()) {
+    Succs[BB->id()] = BB->successors();
+    for (BasicBlock *S : Succs[BB->id()])
+      Preds[S->id()].push_back(BB.get());
+  }
+
+  // Iterative post-order DFS from the entry.
+  std::vector<BasicBlock *> PostOrder;
+  PostOrder.reserve(N);
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+  std::vector<bool> Visited(N, false);
+  if (N != 0) {
+    BasicBlock *Entry = &F.entry();
+    Visited[Entry->id()] = true;
+    Stack.push_back({Entry, 0});
+    while (!Stack.empty()) {
+      auto &[BB, NextSucc] = Stack.back();
+      const auto &S = Succs[BB->id()];
+      if (NextSucc < S.size()) {
+        BasicBlock *Child = S[NextSucc++];
+        if (!Visited[Child->id()]) {
+          Visited[Child->id()] = true;
+          Stack.push_back({Child, 0});
+        }
+        continue;
+      }
+      PostOrder.push_back(BB);
+      Stack.pop_back();
+    }
+  }
+
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (BasicBlock *BB : Rpo)
+    Reachable[BB->id()] = true;
+  // Append unreachable blocks so analyses still see every block.
+  for (const auto &BB : F.blocks())
+    if (!Reachable[BB->id()])
+      Rpo.push_back(BB.get());
+  for (unsigned I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]->id()] = I;
+}
+
+unsigned lao::splitCriticalEdges(Function &F) {
+  // Snapshot predecessor counts before mutating.
+  std::vector<unsigned> NumPreds(F.numBlocks(), 0);
+  std::vector<BasicBlock *> Original;
+  for (const auto &BB : F.blocks()) {
+    Original.push_back(BB.get());
+    for (BasicBlock *S : BB->successors())
+      ++NumPreds[S->id()];
+  }
+
+  unsigned NumSplit = 0;
+  for (BasicBlock *BB : Original) {
+    // Normalize degenerate branches (both targets equal) into jumps so a
+    // block never has two parallel edges to the same successor.
+    if (BB->hasTerminator()) {
+      Instruction &T = BB->terminator();
+      if (T.op() == Opcode::Branch && T.target(0) == T.target(1)) {
+        BasicBlock *Tgt = T.target(0);
+        Instruction J(Opcode::Jump);
+        J.setTarget(0, Tgt);
+        BB->instructions().pop_back();
+        BB->append(std::move(J));
+      }
+    }
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (Succs.size() < 2)
+      continue;
+    Instruction &Term = BB->terminator();
+    assert(Term.op() == Opcode::Branch && "multi-successor non-branch");
+    for (unsigned TI = 0; TI < 2; ++TI) {
+      BasicBlock *S = Term.target(TI);
+      // Split if the edge is critical, or if the successor has phis at
+      // all: phi-related parallel copies are placed at the end of the
+      // predecessor and must not execute on the path to a sibling
+      // successor.
+      bool SuccHasPhis = !S->empty() && S->front().isPhi();
+      if (NumPreds[S->id()] < 2 && !SuccHasPhis)
+        continue;
+      // Critical edge BB -> S: insert an edge block.
+      BasicBlock *Edge =
+          F.createBlock(BB->name() + "." + S->name() + ".edge");
+      {
+        Instruction J(Opcode::Jump);
+        J.setTarget(0, S);
+        Edge->append(std::move(J));
+      }
+      Term.setTarget(TI, Edge);
+      // Redirect phi incoming entries in S. If both branch targets pointed
+      // at S, the first rewrite handles the (single) phi entry; subsequent
+      // iterations find no BB entry left, which is fine.
+      for (Instruction &I : S->instructions()) {
+        if (!I.isPhi())
+          break;
+        for (unsigned UI = 0; UI < I.numUses(); ++UI)
+          if (I.incomingBlock(UI) == BB)
+            I.setIncomingBlock(UI, Edge);
+      }
+      ++NumSplit;
+    }
+  }
+  return NumSplit;
+}

@@ -1,0 +1,71 @@
+//===- CFG.h - Control-flow graph view and edge utilities -------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight, rebuildable view of a function's control-flow graph
+/// (predecessor lists and reverse post-order), plus critical-edge
+/// splitting. All out-of-SSA algorithms in this repository require split
+/// critical edges so that phi-related parallel copies can be placed at the
+/// end of predecessor blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_CFG_H
+#define LAO_IR_CFG_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace lao {
+
+/// Immutable snapshot of a function's CFG. Invalidated by any CFG edit;
+/// rebuild after mutation.
+class CFG {
+public:
+  explicit CFG(Function &F);
+
+  Function &func() const { return F; }
+
+  const std::vector<BasicBlock *> &preds(const BasicBlock *BB) const {
+    return Preds[BB->id()];
+  }
+  const std::vector<BasicBlock *> &succs(const BasicBlock *BB) const {
+    return Succs[BB->id()];
+  }
+
+  /// Blocks in reverse post-order from the entry. Unreachable blocks are
+  /// appended after the reachable ones (in creation order) so analyses
+  /// still cover them.
+  const std::vector<BasicBlock *> &rpo() const { return Rpo; }
+
+  /// Position of \p BB in the reverse post-order.
+  unsigned rpoIndex(const BasicBlock *BB) const {
+    return RpoIndex[BB->id()];
+  }
+
+  bool isReachable(const BasicBlock *BB) const {
+    return Reachable[BB->id()];
+  }
+
+private:
+  Function &F;
+  std::vector<std::vector<BasicBlock *>> Preds;
+  std::vector<std::vector<BasicBlock *>> Succs;
+  std::vector<BasicBlock *> Rpo;
+  std::vector<unsigned> RpoIndex;
+  std::vector<bool> Reachable;
+};
+
+/// Splits every critical edge (edge from a block with several successors
+/// to a block with several predecessors) by inserting a fresh block holding
+/// a single jump. Phi incoming blocks are redirected to the new blocks.
+/// Returns the number of edges split.
+unsigned splitCriticalEdges(Function &F);
+
+} // namespace lao
+
+#endif // LAO_IR_CFG_H

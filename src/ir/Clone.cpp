@@ -1,0 +1,63 @@
+//===- Clone.cpp - Deep copy of functions --------------------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Clone.h"
+
+#include <cassert>
+
+using namespace lao;
+
+std::unique_ptr<Function> lao::cloneFunction(const Function &F) {
+  auto Clone = std::make_unique<Function>(F.name());
+
+  // Recreate the value table: ids must match, so create virtuals in
+  // order with identical names.
+  for (RegId V = Target::NumPhysRegs; V < F.numValues(); ++V) {
+    RegId NewId = Clone->makeVirtual(F.valueName(V));
+    assert(NewId == V && "value id mismatch while cloning");
+    (void)NewId;
+  }
+
+  // Recreate blocks (ids are assigned in creation order).
+  std::vector<BasicBlock *> NewBlocks;
+  for (const auto &BB : F.blocks()) {
+    BasicBlock *NB = Clone->createBlock(BB->name());
+    assert(NB->id() == BB->id() && "block id mismatch while cloning");
+    NewBlocks.push_back(NB);
+  }
+
+  for (const auto &BB : F.blocks()) {
+    BasicBlock *NB = NewBlocks[BB->id()];
+    for (const Instruction &I : BB->instructions()) {
+      Instruction NI(I.op());
+      for (unsigned K = 0; K < I.numDefs(); ++K) {
+        NI.addDef(I.def(K));
+        NI.pinDef(K, I.defPin(K));
+      }
+      if (I.isPhi()) {
+        for (unsigned K = 0; K < I.numUses(); ++K) {
+          NI.addIncoming(I.use(K), NewBlocks[I.incomingBlock(K)->id()]);
+          NI.pinUse(K, I.usePin(K));
+        }
+      } else {
+        for (unsigned K = 0; K < I.numUses(); ++K) {
+          NI.addUse(I.use(K));
+          NI.pinUse(K, I.usePin(K));
+        }
+      }
+      NI.setImm(I.imm());
+      if (I.op() == Opcode::Call)
+        NI.setCallee(I.callee());
+      if (I.op() == Opcode::Jump || I.op() == Opcode::Branch) {
+        NI.setTarget(0, NewBlocks[I.target(0)->id()]);
+        if (I.op() == Opcode::Branch)
+          NI.setTarget(1, NewBlocks[I.target(1)->id()]);
+      }
+      NB->append(std::move(NI));
+    }
+  }
+  return Clone;
+}

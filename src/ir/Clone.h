@@ -1,0 +1,30 @@
+//===- Clone.h - Deep copy of functions -------------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep clone of a Function. The benches run several out-of-SSA
+/// configurations over the same input programs; each run mutates its own
+/// clone while the original stays available for interpretation-based
+/// equivalence checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_CLONE_H
+#define LAO_IR_CLONE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+
+namespace lao {
+
+/// Returns a structurally identical copy of \p F (same block names and
+/// ids, same value ids and names, same pins).
+std::unique_ptr<Function> cloneFunction(const Function &F);
+
+} // namespace lao
+
+#endif // LAO_IR_CLONE_H

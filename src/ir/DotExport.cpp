@@ -1,0 +1,65 @@
+//===- DotExport.cpp - Graphviz rendering of CFGs and graphs -------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/DotExport.h"
+
+#include "ir/IRPrinter.h"
+
+using namespace lao;
+
+namespace {
+
+/// Escapes a label line for a DOT record node.
+std::string escapeDot(const std::string &Text) {
+  std::string Out;
+  for (char C : Text) {
+    switch (C) {
+    case '<':
+    case '>':
+    case '{':
+    case '}':
+    case '|':
+    case '"':
+    case '\\':
+      Out.push_back('\\');
+      Out.push_back(C);
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string lao::exportDot(const Function &F) {
+  std::string S = "digraph \"" + F.name() + "\" {\n";
+  S += "  node [shape=record, fontname=\"monospace\", fontsize=9];\n";
+  for (const auto &BB : F.blocks()) {
+    S += "  b" + std::to_string(BB->id()) + " [label=\"{" +
+         escapeDot(BB->name()) + ":";
+    for (const Instruction &I : BB->instructions())
+      S += "\\l  " + escapeDot(printInstruction(F, I));
+    S += "\\l}\"];\n";
+  }
+  for (const auto &BB : F.blocks()) {
+    for (BasicBlock *Succ : BB->successors())
+      S += "  b" + std::to_string(BB->id()) + " -> b" +
+           std::to_string(Succ->id()) + ";\n";
+    // Phi data-flow edges (dashed) from the incoming blocks.
+    for (const Instruction &I : BB->instructions()) {
+      if (!I.isPhi())
+        break;
+      for (unsigned K = 0; K < I.numUses(); ++K)
+        S += "  b" + std::to_string(I.incomingBlock(K)->id()) + " -> b" +
+             std::to_string(BB->id()) + " [style=dashed, color=gray, " +
+             "label=\"" + escapeDot(F.valueName(I.use(K))) + "\"];\n";
+    }
+  }
+  S += "}\n";
+  return S;
+}

@@ -1,0 +1,29 @@
+//===- DotExport.h - Graphviz rendering of CFGs and graphs ------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz (DOT) export of a function's control-flow graph, with the
+/// instructions in each block. Exposed through `lao-opt --dot` for
+/// inspecting pinned SSA, translated and allocated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_DOTEXPORT_H
+#define LAO_IR_DOTEXPORT_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace lao {
+
+/// Renders \p F as a DOT digraph (one record node per block, edges per
+/// terminator target, phi-incoming edges dashed).
+std::string exportDot(const Function &F);
+
+} // namespace lao
+
+#endif // LAO_IR_DOTEXPORT_H

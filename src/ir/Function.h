@@ -1,0 +1,221 @@
+//===- Function.h - Mini-LAI functions and basic blocks ---------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BasicBlock and Function containers for the mini-LAI IR. A Function owns
+/// its blocks and the table of register values (physical registers first,
+/// then virtual registers created on demand).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_FUNCTION_H
+#define LAO_IR_FUNCTION_H
+
+#include "ir/Instruction.h"
+#include "ir/Target.h"
+
+#include <cassert>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lao {
+
+class Function;
+
+/// A basic block: a straight-line list of instructions ending in a
+/// terminator, with phis (if any) grouped at the front.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, unsigned Id, std::string Name)
+      : Parent(Parent), Id(Id), Name(std::move(Name)) {}
+
+  Function *parent() const { return Parent; }
+
+  /// Dense, stable index of the block within its function.
+  unsigned id() const { return Id; }
+  const std::string &name() const { return Name; }
+
+  using InstList = std::list<Instruction>;
+  InstList &instructions() { return Insts; }
+  const InstList &instructions() const { return Insts; }
+
+  bool empty() const { return Insts.empty(); }
+
+  Instruction &front() {
+    assert(!Insts.empty() && "empty block");
+    return Insts.front();
+  }
+  Instruction &back() {
+    assert(!Insts.empty() && "empty block");
+    return Insts.back();
+  }
+  const Instruction &back() const {
+    assert(!Insts.empty() && "empty block");
+    return Insts.back();
+  }
+
+  /// Appends \p I; asserts that no instruction follows a terminator.
+  Instruction &append(Instruction I) {
+    assert((Insts.empty() || !Insts.back().isTerminator()) &&
+           "appending past terminator");
+    Insts.push_back(std::move(I));
+    return Insts.back();
+  }
+
+  /// Inserts \p I before iterator \p Pos and returns an iterator to it.
+  InstList::iterator insert(InstList::iterator Pos, Instruction I) {
+    return Insts.insert(Pos, std::move(I));
+  }
+
+  /// Returns an iterator to the first non-phi instruction.
+  InstList::iterator firstNonPhi() {
+    auto It = Insts.begin();
+    while (It != Insts.end() && It->isPhi())
+      ++It;
+    return It;
+  }
+
+  /// Returns the terminator, which must exist.
+  Instruction &terminator() {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block lacks a terminator");
+    return Insts.back();
+  }
+  const Instruction &terminator() const {
+    assert(!Insts.empty() && Insts.back().isTerminator() &&
+           "block lacks a terminator");
+    return Insts.back();
+  }
+
+  bool hasTerminator() const {
+    return !Insts.empty() && Insts.back().isTerminator();
+  }
+
+  /// Returns the successor blocks in terminator order.
+  std::vector<BasicBlock *> successors() const {
+    std::vector<BasicBlock *> Succs;
+    if (!hasTerminator())
+      return Succs;
+    const Instruction &T = terminator();
+    if (T.op() == Opcode::Jump)
+      Succs.push_back(T.target(0));
+    else if (T.op() == Opcode::Branch) {
+      Succs.push_back(T.target(0));
+      if (T.target(1) != T.target(0))
+        Succs.push_back(T.target(1));
+    }
+    return Succs;
+  }
+
+private:
+  Function *Parent;
+  unsigned Id;
+  std::string Name;
+  InstList Insts;
+};
+
+/// A mini-LAI function: blocks plus the register value table.
+class Function {
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {
+    for (RegId R = 0; R < Target::NumPhysRegs; ++R) {
+      Values.push_back({Target::physRegName(R), /*IsPhysical=*/true});
+      NameIndex.emplace(Values.back().Name, R);
+    }
+  }
+
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  const std::string &name() const { return Name; }
+
+  /// Creates and appends a new block. The first created block is the entry.
+  BasicBlock *createBlock(std::string BlockName = std::string()) {
+    unsigned Id = static_cast<unsigned>(Blocks.size());
+    if (BlockName.empty())
+      BlockName = "bb" + std::to_string(Id);
+    Blocks.push_back(std::make_unique<BasicBlock>(this, Id, BlockName));
+    return Blocks.back().get();
+  }
+
+  BasicBlock &entry() {
+    assert(!Blocks.empty() && "function has no blocks");
+    return *Blocks.front();
+  }
+  const BasicBlock &entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return *Blocks.front();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  size_t numBlocks() const { return Blocks.size(); }
+
+  BasicBlock *blockByName(const std::string &BlockName) const {
+    for (const auto &BB : Blocks)
+      if (BB->name() == BlockName)
+        return BB.get();
+    return nullptr;
+  }
+
+  /// Creates a fresh virtual register. \p Hint names the register; a
+  /// numeric suffix is appended if the hint is taken or empty.
+  RegId makeVirtual(const std::string &Hint = std::string()) {
+    RegId Id = static_cast<RegId>(Values.size());
+    std::string N = Hint;
+    if (N.empty() || findValue(N) != InvalidReg)
+      N = (N.empty() ? "v" : N + ".") + std::to_string(Id);
+    NameIndex.emplace(N, Id);
+    Values.push_back({std::move(N), /*IsPhysical=*/false});
+    return Id;
+  }
+
+  size_t numValues() const { return Values.size(); }
+
+  bool isPhysical(RegId R) const {
+    assert(R < Values.size() && "value id out of range");
+    return Values[R].IsPhysical;
+  }
+
+  const std::string &valueName(RegId R) const {
+    assert(R < Values.size() && "value id out of range");
+    return Values[R].Name;
+  }
+
+  /// Finds a value by name, or InvalidReg.
+  RegId findValue(const std::string &ValueName) const {
+    auto It = NameIndex.find(ValueName);
+    return It == NameIndex.end() ? InvalidReg : It->second;
+  }
+
+  /// Number of parameters, defined by the entry Input instruction (0 if
+  /// the function has none).
+  unsigned numParams() const {
+    if (Blocks.empty() || Blocks.front()->empty())
+      return 0;
+    const Instruction &First = Blocks.front()->instructions().front();
+    return First.op() == Opcode::Input ? First.numDefs() : 0;
+  }
+
+private:
+  struct ValueInfo {
+    std::string Name;
+    bool IsPhysical;
+  };
+
+  std::string Name;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<ValueInfo> Values;
+  std::unordered_map<std::string, RegId> NameIndex;
+};
+
+} // namespace lao
+
+#endif // LAO_IR_FUNCTION_H

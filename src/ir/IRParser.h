@@ -1,0 +1,44 @@
+//===- IRParser.h - Textual mini-LAI input ----------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual mini-LAI format produced by IRPrinter. Intended for
+/// tests and examples; errors are reported through an out-parameter rather
+/// than exceptions (LLVM-style).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_IRPARSER_H
+#define LAO_IR_IRPARSER_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+
+namespace lao {
+
+/// Parses \p Text into a Function. On failure returns nullptr and, if
+/// \p ErrorOut is non-null, stores a "line N: message" diagnostic into it.
+///
+/// Grammar (one instruction per line, '#' or ';' start comments):
+/// \code
+///   func @name {
+///   label:
+///     input %a, %b
+///     %d^R0 = add %a^R0, %b
+///     %x = phi [%a, bb0], [%y, bb1]
+///     parcopy %a = %b, %c = %d
+///     branch %p, bb1, bb2
+///     ...
+///   }
+/// \endcode
+std::unique_ptr<Function> parseFunction(const std::string &Text,
+                                        std::string *ErrorOut = nullptr);
+
+} // namespace lao
+
+#endif // LAO_IR_IRPARSER_H

@@ -1,0 +1,31 @@
+//===- IRPrinter.h - Textual mini-LAI output --------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints a Function in the textual mini-LAI format accepted by IRParser.
+/// Operand pins are rendered with the paper's up-arrow notation spelled
+/// as a caret, e.g. \c %a^R0 for an operand pinned to R0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_IRPRINTER_H
+#define LAO_IR_IRPRINTER_H
+
+#include "ir/Function.h"
+
+#include <string>
+
+namespace lao {
+
+/// Renders \p I as a single line of mini-LAI assembly (no newline).
+std::string printInstruction(const Function &F, const Instruction &I);
+
+/// Renders the whole function.
+std::string printFunction(const Function &F);
+
+} // namespace lao
+
+#endif // LAO_IR_IRPRINTER_H

@@ -1,0 +1,221 @@
+//===- Instruction.h - Mini-LAI instructions --------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction representation for the mini-LAI IR. Instructions carry
+/// explicit def/use operand lists plus, for each operand slot, an optional
+/// *pin* to a resource (a physical register or a virtual register id).
+/// Pinning is the paper's mechanism for expressing renaming constraints
+/// (Section 2.1) and, later, coalescing decisions (Section 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_INSTRUCTION_H
+#define LAO_IR_INSTRUCTION_H
+
+#include "ir/Target.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lao {
+
+class BasicBlock;
+
+/// Opcodes of the mini-LAI instruction set. Each renaming-constraint class
+/// of the paper is represented: ABI registers (Call/Ret/Input/Output),
+/// 2-operand instructions (More/AutoAdd), the dedicated SP register
+/// (SpAdjust), and predication (Psi).
+enum class Opcode {
+  // Data movement.
+  Mov,      ///< d = s
+  Make,     ///< d = imm
+  ParCopy,  ///< (d1, d2, ...) = (s1, s2, ...) executed in parallel
+
+  // Three-address arithmetic.
+  Add,      ///< d = a + b
+  Sub,      ///< d = a - b
+  Mul,      ///< d = a * b
+  And,      ///< d = a & b
+  Or,       ///< d = a | b
+  Xor,      ///< d = a ^ b
+  Shl,      ///< d = a << (b & 63)
+  Shr,      ///< d = a >> (b & 63)
+  AddI,     ///< d = a + imm
+  CmpLT,    ///< d = (a < b) ? 1 : 0  (signed)
+  CmpEQ,    ///< d = (a == b) ? 1 : 0
+
+  // 2-operand ISA constraints: the def must be assigned the same resource
+  // as the first use (paper Figure 1, statements S1 and S6).
+  More,     ///< d = s | (imm << 16); constraint res(d) == res(s)
+  AutoAdd,  ///< d = s + imm (post-modified address); res(d) == res(s)
+
+  // Dedicated-register constraint: SP-relative adjustment. Both operands
+  // must live in SP (paper Figure 2).
+  SpAdjust, ///< d = s + imm; res(d) == res(s) == SP
+
+  // Memory.
+  Load,     ///< d = mem[a]
+  Store,    ///< mem[a] = s ; uses = {a, s}
+
+  // Calls and function boundary (ABI constraints).
+  Call,     ///< d = call @callee(args...); args in R0..R3, result in R0
+  Input,    ///< defs = function parameters (entry block only)
+  Output,   ///< emit value to the observable output trace
+  Ret,      ///< return value in R0
+
+  // Control flow.
+  Jump,     ///< unconditional branch
+  Branch,   ///< if (cond != 0) goto Targets[0] else Targets[1]
+
+  // SSA-only instructions.
+  Phi,      ///< d = phi([v, pred]...) ; parallel at block entry
+  Psi,      ///< d = psi(p, a, b): p != 0 ? a : b (predicated, psi-SSA)
+};
+
+/// Returns a stable lower-case mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns true if \p Op ends a basic block.
+inline bool isTerminatorOpcode(Opcode Op) {
+  return Op == Opcode::Jump || Op == Opcode::Branch || Op == Opcode::Ret;
+}
+
+/// A mini-LAI instruction.
+///
+/// Operand pins express renaming constraints: DefPins[I] (resp. UsePins[I])
+/// is the resource the I-th def (resp. use) is pinned to, or InvalidReg.
+/// Following the paper, *variable pinning* is the pinning of a variable's
+/// unique definition; phi arguments are implicitly pinned to the resource
+/// of the phi result and carry no explicit UsePins entries.
+class Instruction {
+public:
+  explicit Instruction(Opcode Op) : Op(Op) {}
+
+  Opcode op() const { return Op; }
+
+  bool isTerminator() const { return isTerminatorOpcode(Op); }
+  bool isPhi() const { return Op == Opcode::Phi; }
+  bool isCopy() const { return Op == Opcode::Mov; }
+  bool isParCopy() const { return Op == Opcode::ParCopy; }
+
+  /// Returns true for 2-operand-constrained opcodes (def tied to use 0).
+  bool isTwoOperand() const {
+    return Op == Opcode::More || Op == Opcode::AutoAdd ||
+           Op == Opcode::SpAdjust;
+  }
+
+  unsigned numDefs() const { return Defs.size(); }
+  unsigned numUses() const { return Uses.size(); }
+
+  RegId def(unsigned I) const {
+    assert(I < Defs.size() && "def index out of range");
+    return Defs[I];
+  }
+  RegId use(unsigned I) const {
+    assert(I < Uses.size() && "use index out of range");
+    return Uses[I];
+  }
+
+  void setDef(unsigned I, RegId R) {
+    assert(I < Defs.size() && "def index out of range");
+    Defs[I] = R;
+  }
+  void setUse(unsigned I, RegId R) {
+    assert(I < Uses.size() && "use index out of range");
+    Uses[I] = R;
+  }
+
+  void addDef(RegId R) {
+    Defs.push_back(R);
+    DefPins.push_back(InvalidReg);
+  }
+  void addUse(RegId R) {
+    Uses.push_back(R);
+    UsePins.push_back(InvalidReg);
+  }
+
+  RegId defPin(unsigned I) const {
+    assert(I < DefPins.size() && "def index out of range");
+    return DefPins[I];
+  }
+  RegId usePin(unsigned I) const {
+    assert(I < UsePins.size() && "use index out of range");
+    return UsePins[I];
+  }
+  void pinDef(unsigned I, RegId Res) {
+    assert(I < DefPins.size() && "def index out of range");
+    DefPins[I] = Res;
+  }
+  void pinUse(unsigned I, RegId Res) {
+    assert(I < UsePins.size() && "use index out of range");
+    UsePins[I] = Res;
+  }
+
+  const std::vector<RegId> &defs() const { return Defs; }
+  const std::vector<RegId> &uses() const { return Uses; }
+
+  /// Immediate operand (Make/AddI/More/AutoAdd/SpAdjust).
+  int64_t imm() const { return Imm; }
+  void setImm(int64_t V) { Imm = V; }
+
+  /// Callee name (Call only).
+  const std::string &callee() const { return Callee; }
+  void setCallee(std::string Name) { Callee = std::move(Name); }
+
+  /// Phi incoming blocks, aligned with uses(). Phi only.
+  const std::vector<BasicBlock *> &incomingBlocks() const {
+    assert(isPhi() && "not a phi");
+    return Incoming;
+  }
+  BasicBlock *incomingBlock(unsigned I) const {
+    assert(isPhi() && I < Incoming.size() && "bad phi incoming index");
+    return Incoming[I];
+  }
+  void addIncoming(RegId V, BasicBlock *Pred) {
+    assert(isPhi() && "not a phi");
+    addUse(V);
+    Incoming.push_back(Pred);
+  }
+  void setIncomingBlock(unsigned I, BasicBlock *Pred) {
+    assert(isPhi() && I < Incoming.size() && "bad phi incoming index");
+    Incoming[I] = Pred;
+  }
+  /// Removes the \p I-th (value, pred) pair of a phi.
+  void removeIncoming(unsigned I) {
+    assert(isPhi() && I < Incoming.size() && "bad phi incoming index");
+    Uses.erase(Uses.begin() + I);
+    UsePins.erase(UsePins.begin() + I);
+    Incoming.erase(Incoming.begin() + I);
+  }
+
+  /// Branch/Jump targets: Jump uses Targets[0]; Branch uses both.
+  BasicBlock *target(unsigned I) const {
+    assert(I < 2 && "bad target index");
+    return Targets[I];
+  }
+  void setTarget(unsigned I, BasicBlock *BB) {
+    assert(I < 2 && "bad target index");
+    Targets[I] = BB;
+  }
+
+private:
+  Opcode Op;
+  std::vector<RegId> Defs;
+  std::vector<RegId> Uses;
+  std::vector<RegId> DefPins;
+  std::vector<RegId> UsePins;
+  std::vector<BasicBlock *> Incoming;
+  BasicBlock *Targets[2] = {nullptr, nullptr};
+  int64_t Imm = 0;
+  std::string Callee;
+};
+
+} // namespace lao
+
+#endif // LAO_IR_INSTRUCTION_H

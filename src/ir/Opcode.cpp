@@ -1,0 +1,69 @@
+//===- Opcode.cpp - Opcode names -------------------------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+using namespace lao;
+
+const char *lao::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Make:
+    return "make";
+  case Opcode::ParCopy:
+    return "parcopy";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::AddI:
+    return "addi";
+  case Opcode::CmpLT:
+    return "cmplt";
+  case Opcode::CmpEQ:
+    return "cmpeq";
+  case Opcode::More:
+    return "more";
+  case Opcode::AutoAdd:
+    return "autoadd";
+  case Opcode::SpAdjust:
+    return "spadjust";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Input:
+    return "input";
+  case Opcode::Output:
+    return "output";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::Branch:
+    return "branch";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Psi:
+    return "psi";
+  }
+  return "<bad-opcode>";
+}

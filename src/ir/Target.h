@@ -1,0 +1,76 @@
+//===- Target.h - Mini-LAI target description -------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Physical register file of the mini-LAI target, an abstraction of the
+/// ST120 DSP register set used by the paper: general-purpose registers
+/// R0..R7 (R0..R3 carry call arguments and R0 the result, per the ABI),
+/// pointer registers P0..P3 (P0 carries a pointer argument), and the
+/// dedicated stack pointer SP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_TARGET_H
+#define LAO_IR_TARGET_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lao {
+
+/// Identifier of a register (physical or virtual). Physical registers
+/// occupy ids [0, Target::NumPhysRegs); virtual registers follow.
+using RegId = uint32_t;
+
+/// Sentinel for "no register" / "unpinned operand".
+constexpr RegId InvalidReg = ~0u;
+
+/// Static description of the mini-LAI target machine.
+namespace Target {
+
+enum : RegId {
+  R0 = 0,
+  R1,
+  R2,
+  R3,
+  R4,
+  R5,
+  R6,
+  R7,
+  P0,
+  P1,
+  P2,
+  P3,
+  SP,
+  NumPhysRegs
+};
+
+/// Number of general-purpose registers used for argument passing.
+constexpr unsigned NumArgRegs = 4;
+
+/// Returns the textual name of physical register \p R.
+inline const char *physRegName(RegId R) {
+  static const char *const Names[NumPhysRegs] = {
+      "R0", "R1", "R2", "R3", "R4", "R5", "R6",
+      "R7", "P0", "P1", "P2", "P3", "SP"};
+  assert(R < NumPhysRegs && "not a physical register");
+  return Names[R];
+}
+
+/// Returns the argument register carrying call/function argument \p Index,
+/// or InvalidReg if the index is beyond the register-passed arguments.
+inline RegId argReg(unsigned Index) {
+  return Index < NumArgRegs ? R0 + Index : InvalidReg;
+}
+
+/// Register carrying call results and the function return value.
+inline RegId retReg() { return R0; }
+
+} // namespace Target
+
+} // namespace lao
+
+#endif // LAO_IR_TARGET_H

@@ -1,0 +1,44 @@
+//===- Verifier.h - Structural and pinning checks ---------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural IR checks (terminators, phi placement, operand arity, phi
+/// incoming lists vs CFG) plus the *local* pinning legality rules of the
+/// paper's Figure 4:
+///
+///   Case 1: two defs of one instruction pinned to one resource (x != y)
+///   Case 2: two uses of one instruction pinned to one resource (x != y)
+///   Case 3: two phi defs of one block pinned to one resource
+///   Case 4: def and use of one instruction pinned together — legal
+///   Case 5: phi argument pinned to a different resource than the result
+///   Case 6: flow-sensitive; checked by PinningContext::resourceInterfere,
+///           not here.
+///
+/// SSA-specific checks (single assignment, dominance of uses) live in
+/// ssa/SSAVerifier.h since they need the dominator tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_IR_VERIFIER_H
+#define LAO_IR_VERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace lao {
+
+/// Runs structural checks on \p F. Returns human-readable diagnostics;
+/// empty means the function is well-formed.
+std::vector<std::string> verifyStructure(const Function &F);
+
+/// Runs the Figure 4 local pinning legality checks. Returns diagnostics.
+std::vector<std::string> verifyPinning(const Function &F);
+
+} // namespace lao
+
+#endif // LAO_IR_VERIFIER_H

@@ -1,0 +1,82 @@
+//===- Coalescer.cpp - Aggressive repeated register coalescing ----------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outofssa/Coalescer.h"
+
+#include "analysis/InterferenceGraph.h"
+#include "analysis/Liveness.h"
+#include "ir/CFG.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace lao;
+
+CoalescerStats lao::coalesceAggressively(Function &F) {
+  CoalescerStats Stats;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Stats.NumRounds;
+
+    CFG Cfg(F);
+    Liveness LV(Cfg);
+    InterferenceGraph IG(F, LV);
+
+    // Lazily-applied rename map (victim -> survivor), chased on lookup.
+    std::vector<RegId> RenameTo(F.numValues(), InvalidReg);
+    auto Resolve = [&](RegId V) {
+      while (RenameTo[V] != InvalidReg)
+        V = RenameTo[V];
+      return V;
+    };
+
+    bool AnyCoalesced = false;
+    for (const auto &BB : F.blocks()) {
+      for (Instruction &I : BB->instructions()) {
+        if (!I.isCopy())
+          continue;
+        RegId D = Resolve(I.def(0));
+        RegId S = Resolve(I.use(0));
+        if (D == S)
+          continue; // Already an identity; removed below.
+        if (F.isPhysical(D) && F.isPhysical(S))
+          continue; // Cannot merge two machine registers.
+        if (IG.interfere(D, S))
+          continue;
+        RegId Survivor = F.isPhysical(S) ? S : D;
+        RegId Victim = Survivor == D ? S : D;
+        IG.mergeInto(Survivor, Victim);
+        RenameTo[Victim] = Survivor;
+        ++Stats.NumMerges;
+        AnyCoalesced = true;
+      }
+    }
+
+    if (!AnyCoalesced)
+      break;
+
+    // Apply the renames and drop the moves that became identities.
+    for (const auto &BB : F.blocks()) {
+      auto &Insts = BB->instructions();
+      for (auto It = Insts.begin(); It != Insts.end();) {
+        for (unsigned K = 0; K < It->numDefs(); ++K)
+          It->setDef(K, Resolve(It->def(K)));
+        for (unsigned K = 0; K < It->numUses(); ++K)
+          It->setUse(K, Resolve(It->use(K)));
+        if (It->isCopy() && It->def(0) == It->use(0)) {
+          It = Insts.erase(It);
+          ++Stats.NumMovesRemoved;
+          Changed = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,39 @@
+//===- Coalescer.h - Aggressive repeated register coalescing ----*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's [Coalescing] baseline: a Chaitin-style aggressive
+/// "repeated" register coalescer run on non-SSA code, outside any
+/// register-allocation context (so it ignores colorability). It
+/// repeatedly builds liveness and the interference graph, removes every
+/// move whose operands do not interfere by merging them (the interference
+/// graph is updated incrementally within a round, rebuilt between
+/// rounds), and stops at a fixpoint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_OUTOFSSA_COALESCER_H
+#define LAO_OUTOFSSA_COALESCER_H
+
+#include "ir/Function.h"
+
+namespace lao {
+
+struct CoalescerStats {
+  unsigned NumMovesRemoved = 0;
+  unsigned NumRounds = 0;
+  /// Total interference-graph node merges (proportional to the cost the
+  /// paper's compile-time discussion attributes to this phase).
+  unsigned NumMerges = 0;
+};
+
+/// Runs aggressive repeated coalescing on non-SSA \p F (no phis; parallel
+/// copies must have been sequentialized).
+CoalescerStats coalesceAggressively(Function &F);
+
+} // namespace lao
+
+#endif // LAO_OUTOFSSA_COALESCER_H

@@ -1,0 +1,400 @@
+//===- LeungGeorge.cpp - Out-of-pinned-SSA translation -------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outofssa/LeungGeorge.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace lao;
+
+namespace {
+
+/// Abstract state of the mark phase: for each resource class
+/// representative, the SSA variable whose value it currently holds.
+/// InvalidReg as a mapped value means "unknown / conflicting" (bottom);
+/// an absent key means the resource was never written on some path.
+using HolderMap = std::map<RegId, RegId>;
+
+/// Pointwise merge: key union; values must agree, otherwise bottom.
+HolderMap mergeStates(const std::vector<const HolderMap *> &Preds) {
+  HolderMap Result;
+  if (Preds.empty())
+    return Result;
+  Result = *Preds[0];
+  for (size_t K = 1; K < Preds.size(); ++K) {
+    const HolderMap &P = *Preds[K];
+    for (auto &[Res, Var] : Result) {
+      auto It = P.find(Res);
+      if (It == P.end() || It->second != Var)
+        Var = InvalidReg;
+    }
+    for (const auto &[Res, Var] : P)
+      if (!Result.count(Res))
+        Result[Res] = InvalidReg;
+  }
+  return Result;
+}
+
+class Translator {
+public:
+  Translator(Function &F, PinningContext &Ctx, const CFG &Cfg)
+      : F(F), Ctx(Ctx), Cfg(Cfg), NumOrigValues(F.numValues()) {}
+
+  OutOfSSAStats run() {
+    solve();
+    replay(/*Rewrite=*/false);
+    for (RegId V : RepairNeeded) {
+      RepairVar[V] = F.makeVirtual(F.valueName(V) + ".r");
+      ++Stats.NumRepairs;
+    }
+    replay(/*Rewrite=*/true);
+    return Stats;
+  }
+
+private:
+  Function &F;
+  PinningContext &Ctx;
+  const CFG &Cfg;
+  size_t NumOrigValues;
+  OutOfSSAStats Stats;
+
+  std::vector<HolderMap> In, Out;
+  std::vector<bool> Visited;
+  std::set<RegId> RepairNeeded;
+  std::map<RegId, RegId> RepairVar;
+
+  RegId repOf(RegId V) const {
+    assert(V < NumOrigValues && "querying a synthesized variable");
+    return Ctx.resourceOf(V);
+  }
+
+  static RegId holderOf(const HolderMap &S, RegId Res) {
+    auto It = S.find(Res);
+    return It == S.end() ? InvalidReg : It->second;
+  }
+
+  /// Location of \p V's value under \p S: its resource if the resource
+  /// still holds it, otherwise its repair variable. In mark mode a miss
+  /// records the repair requirement instead.
+  RegId locOf(RegId V, const HolderMap &S, bool Rewrite) {
+    if (F.isPhysical(V))
+      return V;
+    RegId Res = repOf(V);
+    if (holderOf(S, Res) == V)
+      return Res;
+    if (!Rewrite) {
+      RepairNeeded.insert(V);
+      return Res;
+    }
+    auto It = RepairVar.find(V);
+    assert(It != RepairVar.end() && "repair variable missing");
+    return It->second;
+  }
+
+  /// The parallel-copy state updates performed at the end of \p BB for
+  /// the phis of its successors.
+  void applyPhiCopyUpdates(const BasicBlock *BB, HolderMap &S) {
+    for (BasicBlock *Succ : BB->successors())
+      for (const Instruction &I : Succ->instructions()) {
+        if (!I.isPhi())
+          break;
+        S[repOf(I.def(0))] = I.def(0);
+      }
+  }
+
+  /// Transfer function used by the dataflow solve (no queries, no
+  /// rewriting — state effects only; must mirror replayBlock exactly).
+  HolderMap transfer(const BasicBlock *BB, HolderMap S) {
+    for (const Instruction &I : BB->instructions()) {
+      if (I.isPhi()) {
+        S[repOf(I.def(0))] = I.def(0);
+        continue;
+      }
+      if (I.isTerminator())
+        applyPhiCopyUpdates(BB, S);
+      for (unsigned K = 0; K < I.numUses(); ++K)
+        if (I.usePin(K) != InvalidReg)
+          S[repOf(I.usePin(K))] = I.use(K);
+      for (RegId D : I.defs())
+        S[F.isPhysical(D) ? Ctx.resourceOf(D) : repOf(D)] = D;
+    }
+    return S;
+  }
+
+  void solve() {
+    size_t NB = F.numBlocks();
+    In.assign(NB, HolderMap());
+    Out.assign(NB, HolderMap());
+    Visited.assign(NB, false);
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BasicBlock *BB : Cfg.rpo()) {
+        std::vector<const HolderMap *> PredOuts;
+        // The entry has an implicit "function start" path on which no
+        // resource holds anything; merging the empty state bottoms out
+        // any values flowing around a loop back to the entry.
+        static const HolderMap EmptyState;
+        if (BB == &F.entry())
+          PredOuts.push_back(&EmptyState);
+        for (BasicBlock *P : Cfg.preds(BB))
+          if (Visited[P->id()])
+            PredOuts.push_back(&Out[P->id()]);
+        HolderMap NewIn = mergeStates(PredOuts);
+        HolderMap NewOut = transfer(BB, NewIn);
+        if (!Visited[BB->id()] || NewIn != In[BB->id()] ||
+            NewOut != Out[BB->id()]) {
+          Changed = true;
+          In[BB->id()] = std::move(NewIn);
+          Out[BB->id()] = std::move(NewOut);
+          Visited[BB->id()] = true;
+        }
+      }
+    }
+  }
+
+  /// Walks every block with the solved In state. In mark mode (Rewrite ==
+  /// false) it records which variables need repairs; in rewrite mode it
+  /// rebuilds each block's instruction list with renamed operands,
+  /// parallel copies and repairs. New lists are installed only after all
+  /// blocks are processed: building a predecessor's parallel copy needs
+  /// the successor's phis, which installation deletes.
+  void replay(bool Rewrite) {
+    std::vector<BasicBlock::InstList> NewLists(F.numBlocks());
+    for (const auto &BBPtr : F.blocks())
+      replayBlock(BBPtr.get(), Rewrite, NewLists[BBPtr->id()]);
+    if (Rewrite)
+      for (const auto &BBPtr : F.blocks())
+        BBPtr->instructions() = std::move(NewLists[BBPtr->id()]);
+  }
+
+  /// Emits (in rewrite mode) the repair copy for \p V right after its
+  /// definition point.
+  void emitRepair(RegId V, BasicBlock::InstList &NewList) {
+    Instruction Copy(Opcode::Mov);
+    Copy.addDef(RepairVar.at(V));
+    Copy.addUse(repOf(V));
+    NewList.push_back(std::move(Copy));
+  }
+
+  void replayBlock(BasicBlock *BB, bool Rewrite,
+                   BasicBlock::InstList &NewList) {
+    HolderMap S = In[BB->id()];
+    std::vector<RegId> PendingPhiRepairs;
+    bool InPhiGroup = true;
+
+    for (Instruction &I : BB->instructions()) {
+      if (I.isPhi()) {
+        assert(InPhiGroup && "phi after non-phi");
+        S[repOf(I.def(0))] = I.def(0);
+        if (Rewrite) {
+          if (RepairNeeded.count(I.def(0)))
+            PendingPhiRepairs.push_back(I.def(0));
+          ++Stats.NumPhisRemoved;
+        }
+        continue;
+      }
+      if (InPhiGroup) {
+        InPhiGroup = false;
+        if (Rewrite)
+          for (RegId V : PendingPhiRepairs)
+            emitRepair(V, NewList);
+      }
+
+      // Phi-related parallel copy at block end (before the terminator).
+      if (I.isTerminator()) {
+        Instruction ParCopy(Opcode::ParCopy);
+        for (BasicBlock *Succ : BB->successors()) {
+          for (const Instruction &Phi : Succ->instructions()) {
+            if (!Phi.isPhi())
+              break;
+            RegId X = Phi.def(0);
+            RegId Dst = repOf(X);
+            // Find the argument flowing along this edge.
+            RegId Arg = InvalidReg;
+            for (unsigned K = 0; K < Phi.numUses(); ++K)
+              if (Phi.incomingBlock(K) == BB) {
+                Arg = Phi.use(K);
+                break;
+              }
+            assert(Arg != InvalidReg && "phi lacks entry for predecessor");
+            if (holderOf(S, Dst) == Arg) {
+              // The destination resource already carries the flowing
+              // value: elide the copy (paper Section 2.3, second bullet).
+              if (Rewrite)
+                ++Stats.NumElidedCopies;
+              continue;
+            }
+            RegId Src = locOf(Arg, S, Rewrite);
+            if (Src == Dst) {
+              if (Rewrite)
+                ++Stats.NumElidedCopies;
+              continue;
+            }
+            ParCopy.addDef(Dst);
+            ParCopy.addUse(Src);
+          }
+        }
+        applyPhiCopyUpdates(BB, S);
+        if (Rewrite && ParCopy.numDefs() != 0) {
+          Stats.NumPhiCopies += ParCopy.numDefs();
+          NewList.push_back(std::move(ParCopy));
+        }
+      }
+
+      // Uses. The pin copies execute (in parallel) immediately before
+      // the instruction: build them against the pre-copy state, then
+      // apply their effect, then resolve every operand against the
+      // post-copy state — an unpinned use whose resource was just
+      // clobbered by a sibling's pin copy must read its repair.
+      const std::vector<RegId> OrigUses = I.uses();
+      Instruction PinCopy(Opcode::ParCopy);
+      for (unsigned K = 0; K < I.numUses(); ++K) {
+        RegId V = OrigUses[K];
+        RegId Pin = I.usePin(K);
+        if (Pin == InvalidReg)
+          continue;
+        RegId PinRes = repOf(Pin);
+        RegId Loc = F.isPhysical(V) ? V : locOf(V, S, Rewrite);
+        if (holderOf(S, PinRes) == V || Loc == PinRes) {
+          if (Rewrite)
+            ++Stats.NumElidedCopies;
+          continue;
+        }
+        // Copy the value into the pinned resource.
+        bool Dup = false;
+        for (unsigned D = 0; D < PinCopy.numDefs() && !Dup; ++D)
+          Dup = PinCopy.def(D) == PinRes;
+        if (!Dup) {
+          PinCopy.addDef(PinRes);
+          PinCopy.addUse(Loc);
+        }
+      }
+      // Pin-copy state updates (value now also in the pinned resource).
+      for (unsigned K = 0; K < I.numUses(); ++K)
+        if (I.usePin(K) != InvalidReg)
+          S[repOf(I.usePin(K))] = OrigUses[K];
+      if (Rewrite && PinCopy.numDefs() != 0) {
+        Stats.NumPinCopies += PinCopy.numDefs();
+        NewList.push_back(std::move(PinCopy));
+      }
+      // Resolve operands under the post-copy state.
+      for (unsigned K = 0; K < I.numUses(); ++K) {
+        RegId V = OrigUses[K];
+        RegId Pin = I.usePin(K);
+        if (Pin != InvalidReg) {
+          if (Rewrite)
+            I.setUse(K, repOf(Pin));
+          continue;
+        }
+        RegId Loc = F.isPhysical(V) ? V : locOf(V, S, Rewrite);
+        if (Rewrite)
+          I.setUse(K, Loc);
+      }
+
+      // Defs: rename to the class representative.
+      std::vector<RegId> RepairsAfter;
+      for (unsigned K = 0; K < I.numDefs(); ++K) {
+        RegId D = I.def(K);
+        RegId Res = repOf(D);
+        S[Res] = D;
+        if (Rewrite) {
+          I.setDef(K, Res);
+          if (RepairNeeded.count(D))
+            RepairsAfter.push_back(D);
+        }
+      }
+
+      if (Rewrite) {
+        // Drop moves that became identities through renaming.
+        bool Identity = I.isCopy() && I.def(0) == I.use(0);
+        if (!Identity)
+          NewList.push_back(std::move(I));
+        for (RegId V : RepairsAfter)
+          emitRepair(V, NewList);
+      }
+    }
+
+    // Clear pins: the output is no longer pinned SSA. The new list is
+    // installed by replay() once every block has been processed.
+    if (Rewrite) {
+      for (Instruction &I : NewList) {
+        for (unsigned K = 0; K < I.numDefs(); ++K)
+          I.pinDef(K, InvalidReg);
+        for (unsigned K = 0; K < I.numUses(); ++K)
+          I.pinUse(K, InvalidReg);
+      }
+    }
+  }
+};
+
+} // namespace
+
+OutOfSSAStats lao::translateOutOfSSA(Function &F, PinningContext &Ctx,
+                                     const CFG &Cfg) {
+  Translator T(F, Ctx, Cfg);
+  return T.run();
+}
+
+unsigned lao::sequentializeParallelCopies(Function &F) {
+  unsigned NumMoves = 0;
+  for (const auto &BB : F.blocks()) {
+    auto &Insts = BB->instructions();
+    for (auto It = Insts.begin(); It != Insts.end();) {
+      if (!It->isParCopy()) {
+        ++It;
+        continue;
+      }
+      // Gather entries, dropping identities.
+      std::vector<std::pair<RegId, RegId>> Entries; // (dst, src)
+      for (unsigned K = 0; K < It->numDefs(); ++K)
+        if (It->def(K) != It->use(K))
+          Entries.push_back({It->def(K), It->use(K)});
+
+      std::vector<Instruction> Seq;
+      while (!Entries.empty()) {
+        // Emit a copy whose destination is not needed as a source.
+        bool Progress = false;
+        for (size_t K = 0; K < Entries.size(); ++K) {
+          RegId Dst = Entries[K].first;
+          bool DstIsSource = false;
+          for (auto &[D2, S2] : Entries)
+            DstIsSource |= S2 == Dst;
+          if (DstIsSource)
+            continue;
+          Instruction Mv(Opcode::Mov);
+          Mv.addDef(Dst);
+          Mv.addUse(Entries[K].second);
+          Seq.push_back(std::move(Mv));
+          Entries.erase(Entries.begin() + K);
+          Progress = true;
+          break;
+        }
+        if (Progress)
+          continue;
+        // Pure cycle: break it with a temporary (the swap problem).
+        RegId CycleSrc = Entries.front().second;
+        RegId Tmp = F.makeVirtual("swap");
+        Instruction Mv(Opcode::Mov);
+        Mv.addDef(Tmp);
+        Mv.addUse(CycleSrc);
+        Seq.push_back(std::move(Mv));
+        for (auto &[D2, S2] : Entries)
+          if (S2 == CycleSrc)
+            S2 = Tmp;
+      }
+
+      NumMoves += Seq.size();
+      for (Instruction &Mv : Seq)
+        Insts.insert(It, std::move(Mv));
+      It = Insts.erase(It);
+    }
+  }
+  return NumMoves;
+}

@@ -1,0 +1,62 @@
+//===- LeungGeorge.h - Out-of-pinned-SSA translation ------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mark and reconstruct phases of Leung & George's out-of-SSA
+/// algorithm for machine-level SSA (PLDI 1999), as used and refined by
+/// the paper (Section 2.3). Input is pinned SSA; output is non-SSA code
+/// where:
+///
+///  * every variable is renamed to its resource-class representative
+///    (physical register or class-leader virtual),
+///  * each phi becomes entries of a parallel copy at the end of each
+///    predecessor, *elided* when the destination resource already holds
+///    the flowing value,
+///  * each use pinned to a resource gets a copy into that resource before
+///    the instruction, again elided when already in place,
+///  * a variable whose resource is overwritten before a use ("killed") is
+///    *repaired*: a copy into a fresh variable placed right after its
+///    definition, with post-kill uses reading the repair (Figure 3).
+///
+/// The mark phase is a forward dataflow per resource class: "which SSA
+/// variable's value does this resource hold here". The reconstruct phase
+/// replays it, rewriting operands and materializing the copies. Parallel
+/// copies are left as ParCopy instructions; run
+/// sequentializeParallelCopies afterwards to lower them to moves (this
+/// separation keeps the swap problem visible in tests).
+///
+/// Requires: SSA input, critical edges split (splitCriticalEdges), and a
+/// PinningContext carrying all pins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_OUTOFSSA_LEUNGGEORGE_H
+#define LAO_OUTOFSSA_LEUNGGEORGE_H
+
+#include "outofssa/PinningContext.h"
+
+namespace lao {
+
+struct OutOfSSAStats {
+  unsigned NumRepairs = 0;        ///< Repair copies inserted.
+  unsigned NumPhiCopies = 0;      ///< Parallel-copy entries for phis.
+  unsigned NumPinCopies = 0;      ///< Copies satisfying use pins.
+  unsigned NumElidedCopies = 0;   ///< Copies avoided (value in place).
+  unsigned NumPhisRemoved = 0;
+};
+
+/// Translates \p F out of SSA under the pinning in \p Ctx. Mutates F.
+OutOfSSAStats translateOutOfSSA(Function &F, PinningContext &Ctx,
+                                const CFG &Cfg);
+
+/// Lowers every ParCopy into a sequence of Mov instructions, inserting
+/// fresh temporaries to break copy cycles (the swap problem). Identity
+/// entries are dropped. Returns the number of moves emitted.
+unsigned sequentializeParallelCopies(Function &F);
+
+} // namespace lao
+
+#endif // LAO_OUTOFSSA_LEUNGGEORGE_H

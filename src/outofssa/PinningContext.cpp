@@ -1,0 +1,240 @@
+//===- PinningContext.cpp - Resource classes and interference -----------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outofssa/PinningContext.h"
+
+#include <cassert>
+
+using namespace lao;
+
+PinningContext::PinningContext(const Function &F, const CFG &Cfg,
+                               const DominatorTree &DT, const Liveness &LV,
+                               InterferenceMode Mode)
+    : F(F), Cfg(Cfg), DT(DT), LV(LV), Mode(Mode) {
+  size_t N = F.numValues();
+  Classes.grow(N);
+  Members.resize(N);
+  Killed.resize(N);
+  PinSites.resize(N);
+  Defs.resize(N);
+
+  for (RegId V = 0; V < N; ++V)
+    Members[V].push_back(V);
+
+  // Record use-pin copy sites (pin copies clobber the target resource).
+  for (const auto &BB : F.blocks())
+    for (auto It = BB->instructions().begin(),
+              End = BB->instructions().end();
+         It != End; ++It) {
+      if (It->isPhi())
+        continue; // Phi argument copies are modeled by Class 2.
+      for (unsigned K = 0; K < It->numUses(); ++K)
+        if (It->usePin(K) != InvalidReg)
+          PinSites[It->usePin(K)].push_back(
+              PinSite{BB.get(), It, It->use(K)});
+    }
+
+  // Record SSA definition sites.
+  for (const auto &BB : F.blocks()) {
+    unsigned Order = 0;
+    for (auto It = BB->instructions().begin(),
+              End = BB->instructions().end();
+         It != End; ++It, ++Order) {
+      for (RegId D : It->defs()) {
+        if (F.isPhysical(D))
+          continue;
+        assert(!Defs[D].Valid && "PinningContext requires SSA input");
+        Defs[D] = DefSite{BB.get(), &*It, It, Order, true};
+      }
+    }
+  }
+
+  // Seed killed sets with self-kills (the lost-copy situation: a phi
+  // result live out of a predecessor it does not flow through).
+  for (RegId V = 0; V < N; ++V)
+    if (Defs[V].Valid && variableKills(V, V))
+      Killed[V].insert(V);
+
+  // Build initial classes from def-operand pins (variable pinning given
+  // by ABI/SP constraint collection).
+  for (const auto &BB : F.blocks())
+    for (const Instruction &I : BB->instructions())
+      for (unsigned K = 0; K < I.numDefs(); ++K)
+        if (I.defPin(K) != InvalidReg)
+          pinTogether(I.def(K), I.defPin(K));
+}
+
+RegId PinningContext::pinTogether(RegId A, RegId B) {
+  RegId RA = Classes.find(A), RB = Classes.find(B);
+  if (RA == RB)
+    return RA;
+  assert(!(F.isPhysical(RA) && F.isPhysical(RB)) &&
+         "cannot merge two physical resources");
+
+  // Update killed sets: a member becomes killed if some member of the
+  // other side kills it (mandatory pinnings may introduce such kills;
+  // checked merges by construction only add kills of already-killed
+  // members, which is idempotent).
+  std::set<RegId> NewKilled;
+  for (RegId X : Members[RA])
+    for (RegId Y : Members[RB]) {
+      if (variableKills(X, Y))
+        NewKilled.insert(Y);
+      if (variableKills(Y, X))
+        NewKilled.insert(X);
+    }
+  // Pin-copy kills across the merge.
+  for (const PinSite &S : PinSites[RA])
+    for (RegId Y : Members[RB])
+      if (pinSiteKills(S, Y))
+        NewKilled.insert(Y);
+  for (const PinSite &S : PinSites[RB])
+    for (RegId X : Members[RA])
+      if (pinSiteKills(S, X))
+        NewKilled.insert(X);
+
+  // Keep the physical register (if any) as the representative.
+  RegId Keep = F.isPhysical(RB) ? RB : RA;
+  RegId Other = Keep == RA ? RB : RA;
+  RegId Rep = Classes.merge(Keep, Other, /*PreferA=*/true);
+  assert(Rep == Keep && "representative preference violated");
+
+  auto &Dst = Members[Keep];
+  auto &Src = Members[Other];
+  Dst.insert(Dst.end(), Src.begin(), Src.end());
+  Src.clear();
+  Killed[Keep].insert(Killed[Other].begin(), Killed[Other].end());
+  Killed[Other].clear();
+  Killed[Keep].insert(NewKilled.begin(), NewKilled.end());
+  auto &DstSites = PinSites[Keep];
+  auto &SrcSites = PinSites[Other];
+  DstSites.insert(DstSites.end(), SrcSites.begin(), SrcSites.end());
+  SrcSites.clear();
+  return Rep;
+}
+
+bool PinningContext::pinSiteKills(const PinSite &S, RegId X) const {
+  if (S.UsedVar == X || !Defs[X].Valid)
+    return false;
+  // The copy executes immediately before S's instruction; X dies there
+  // only if nothing reads it at or after that point.
+  return LV.isLiveBefore(X, S.BB, S.Pos);
+}
+
+bool PinningContext::defDominates(RegId A, RegId B) const {
+  const DefSite &DA = Defs[A], &DB = Defs[B];
+  if (!DA.Valid || !DB.Valid)
+    return false;
+  if (DA.I == DB.I)
+    return false; // Parallel defs of one instruction.
+  if (DA.BB != DB.BB)
+    return DT.strictlyDominates(DA.BB, DB.BB);
+  // Same block: phis define at block entry, before all non-phis; two
+  // phis of one block are parallel.
+  if (DA.I->isPhi())
+    return !DB.I->isPhi();
+  if (DB.I->isPhi())
+    return false;
+  return DA.Order < DB.Order;
+}
+
+bool PinningContext::liveAtDef(RegId V, const DefSite &D) const {
+  if (D.I->isPhi())
+    return LV.isLiveIn(V, D.BB);
+  return LV.isLiveAfter(V, D.BB, D.Pos);
+}
+
+bool PinningContext::variableKills(RegId A, RegId B) const {
+  const DefSite &DA = Defs[A];
+  if (!DA.Valid || !Defs[B].Valid)
+    return false;
+
+  // Class 1: B defined first, still live when A's definition writes the
+  // shared resource.
+  if (A != B && defDominates(B, A)) {
+    switch (Mode) {
+    case InterferenceMode::Precise:
+      if (liveAtDef(B, DA))
+        return true;
+      break;
+    case InterferenceMode::Optimistic:
+      if (LV.isLiveOut(B, DA.BB))
+        return true;
+      break;
+    case InterferenceMode::Pessimistic:
+      if (LV.isLiveIn(B, DA.BB) || DA.BB == Defs[B].BB)
+        return true;
+      break;
+    }
+  }
+
+  // Class 2: A is a phi; the parallel copy writing A's resource at the
+  // end of predecessor Bi clobbers B if B lives through that copy and is
+  // not the value flowing into it.
+  if (DA.I->isPhi()) {
+    const Instruction &Phi = *DA.I;
+    for (unsigned K = 0; K < Phi.numUses(); ++K) {
+      const BasicBlock *Bi = Phi.incomingBlock(K);
+      if (Phi.use(K) != B && LV.isLiveOut(B, Bi))
+        return true;
+    }
+  }
+  return false;
+}
+
+bool PinningContext::stronglyInterfere(RegId A, RegId B) const {
+  if (A == B)
+    return false;
+  const DefSite &DA = Defs[A], &DB = Defs[B];
+  if (!DA.Valid || !DB.Valid)
+    return false;
+
+  if (DA.I->isPhi() && DB.I->isPhi()) {
+    // Case 4 (and same-block Case 3 degenerate): parallel phis of one
+    // block can never share a resource.
+    if (DA.BB == DB.BB)
+      return true;
+    // Case 3: a common predecessor would carry two parallel copies into
+    // one resource; legal only if the flowing values coincide.
+    const Instruction &PA = *DA.I, &PB = *DB.I;
+    for (unsigned I = 0; I < PA.numUses(); ++I) {
+      const BasicBlock *Shared = PA.incomingBlock(I);
+      for (unsigned J = 0; J < PB.numUses(); ++J)
+        if (PB.incomingBlock(J) == Shared && PA.use(I) != PB.use(J))
+          return true;
+    }
+    return false;
+  }
+
+  // Two results of one instruction are written in parallel.
+  return DA.I == DB.I;
+}
+
+bool PinningContext::resourceInterfere(RegId A, RegId B) const {
+  RegId RA = Classes.find(A), RB = Classes.find(B);
+  if (RA == RB)
+    return false;
+  if (F.isPhysical(RA) && F.isPhysical(RB))
+    return true;
+
+  const auto &KilledA = Killed[RA];
+  const auto &KilledB = Killed[RB];
+  for (RegId X : Members[RA]) {
+    if (!Defs[X].Valid)
+      continue;
+    for (RegId Y : Members[RB]) {
+      if (!Defs[Y].Valid)
+        continue;
+      if (!KilledA.count(X) && variableKills(Y, X))
+        return true;
+      if (!KilledB.count(Y) && variableKills(X, Y))
+        return true;
+      if (stronglyInterfere(X, Y))
+        return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,96 @@
+//===- Pipeline.cpp - Out-of-SSA experiment pipelines --------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "outofssa/Pipeline.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/CFG.h"
+#include "outofssa/Constraints.h"
+#include "outofssa/MoveStats.h"
+#include "outofssa/NaiveABI.h"
+
+#include <cassert>
+#include <chrono>
+
+using namespace lao;
+
+PipelineConfig lao::pipelinePreset(const std::string &Name) {
+  PipelineConfig C;
+  C.Name = Name;
+  if (Name == "Lphi+C") {
+    C.PinPhi = C.Coalesce = true;
+  } else if (Name == "C") {
+    C.Coalesce = true;
+  } else if (Name == "Sphi+C") {
+    C.Sreedhar = C.Coalesce = true;
+  } else if (Name == "Lphi,ABI+C") {
+    C.PinABI = C.PinPhi = C.Coalesce = true;
+  } else if (Name == "Sphi+LABI+C") {
+    C.Sreedhar = C.PinABI = C.Coalesce = true;
+  } else if (Name == "LABI+C") {
+    C.PinABI = C.Coalesce = true;
+  } else if (Name == "C,naiveABI+C") {
+    C.NaiveABI = C.Coalesce = true;
+  } else if (Name == "Lphi,ABI") {
+    C.PinABI = C.PinPhi = true;
+  } else if (Name == "Sphi") {
+    C.Sreedhar = C.NaiveABI = true;
+  } else if (Name == "LABI") {
+    C.PinABI = true;
+  } else {
+    assert(false && "unknown pipeline preset");
+  }
+  return C;
+}
+
+PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
+  using Clock = std::chrono::steady_clock;
+  PipelineResult R;
+  auto Start = Clock::now();
+
+  splitCriticalEdges(F);
+
+  if (Config.PinSP)
+    collectSPConstraints(F);
+  if (Config.PinABI)
+    collectABIConstraints(F);
+  if (Config.Sreedhar) {
+    R.SreedharInfo = convertToCSSA(F);
+    pinCSSAWebs(F);
+  }
+
+  {
+    CFG Cfg(F);
+    DominatorTree DT(Cfg);
+    Liveness LV(Cfg);
+    PinningContext Ctx(F, Cfg, DT, LV, Config.Mode);
+    if (Config.PinPhi) {
+      LoopInfo LI(Cfg, DT);
+      R.Phi = coalescePhis(F, Ctx, Cfg, LI, Config.PhiOpts);
+    }
+    R.Translate = translateOutOfSSA(F, Ctx, Cfg);
+  }
+  sequentializeParallelCopies(F);
+
+  if (Config.NaiveABI) {
+    lowerABINaively(F);
+    sequentializeParallelCopies(F);
+  }
+
+  R.MovesBeforeCoalesce = countMoves(F);
+
+  if (Config.Coalesce) {
+    auto CoalStart = Clock::now();
+    R.Coalescer = coalesceAggressively(F);
+    R.CoalesceSeconds =
+        std::chrono::duration<double>(Clock::now() - CoalStart).count();
+  }
+
+  R.NumMoves = countMoves(F);
+  R.WeightedMoves = weightedMoveCount(F);
+  R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+  return R;
+}

@@ -1,0 +1,79 @@
+//===- Pipeline.h - Out-of-SSA experiment pipelines -------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Composition of the out-of-SSA passes into the experiment
+/// configurations of the paper's Table 1. Each configuration is a preset
+/// naming which passes run:
+///
+///   name            Sreedhar CSSA  SP  ABI  phi  NaiveABI  Coalesce
+///   "Lphi+C"           -      -    x    -    x      -         x
+///   "C"                -      -    x    -    -      -         x
+///   "Sphi+C"           x      x    x    -    -      -         x
+///   "Lphi,ABI+C"       -      -    x    x    x      -         x
+///   "Sphi+LABI+C"      x      x    x    x    -      -         x
+///   "LABI+C"           -      -    x    x    -      -         x
+///   "C,naiveABI+C"     -      -    x    -    -      x         x
+///   "Lphi,ABI"         -      -    x    x    x      -         -
+///   "Sphi"             x      x    x    -    -      x         -
+///   "LABI"             -      -    x    x    -      -         -
+///
+/// ("C,naiveABI+C" is the Table 3 column named C in the paper: naive phi
+/// replacement and naive ABI lowering, followed by aggressive coalescing.)
+/// The out-of-pinned-SSA translation itself runs in every configuration,
+/// exactly as in Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_OUTOFSSA_PIPELINE_H
+#define LAO_OUTOFSSA_PIPELINE_H
+
+#include "outofssa/Coalescer.h"
+#include "outofssa/LeungGeorge.h"
+#include "outofssa/PhiCoalescing.h"
+#include "outofssa/Sreedhar.h"
+
+#include <string>
+
+namespace lao {
+
+/// Which passes a pipeline run executes (see the table above).
+struct PipelineConfig {
+  std::string Name = "Lphi,ABI+C";
+  bool Sreedhar = false;  ///< convertToCSSA + pinCSSAWebs
+  bool PinSP = true;      ///< Always on in the paper's experiments.
+  bool PinABI = false;
+  bool PinPhi = false;    ///< The paper's pinning-based coalescing.
+  bool NaiveABI = false;
+  bool Coalesce = false;
+  InterferenceMode Mode = InterferenceMode::Precise;
+  PhiCoalescingOptions PhiOpts;
+};
+
+/// Returns the preset for \p Name (see header table). Asserts on unknown
+/// names.
+PipelineConfig pipelinePreset(const std::string &Name);
+
+/// Outcome of one pipeline run over one function.
+struct PipelineResult {
+  unsigned NumMoves = 0;        ///< Residual moves (Tables 2-4 metric).
+  uint64_t WeightedMoves = 0;   ///< 5^depth-weighted (Table 5 metric).
+  double Seconds = 0.0;         ///< Wall time of the whole pipeline.
+  double CoalesceSeconds = 0.0; ///< Wall time of aggressive coalescing.
+  OutOfSSAStats Translate;
+  PhiCoalescingStats Phi;
+  CoalescerStats Coalescer;
+  SreedharStats SreedharInfo;
+  unsigned MovesBeforeCoalesce = 0;
+};
+
+/// Runs the configured pipeline over \p F (mutating it from SSA to final
+/// non-SSA code) and returns the measurements.
+PipelineResult runPipeline(Function &F, const PipelineConfig &Config);
+
+} // namespace lao
+
+#endif // LAO_OUTOFSSA_PIPELINE_H

@@ -1,0 +1,295 @@
+//===- RegAlloc.cpp - Chaitin-Briggs register allocation -----------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/RegAlloc.h"
+
+#include "analysis/InterferenceGraph.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "ir/CFG.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace lao;
+
+std::vector<RegId> lao::collectVirtualRegs(const Function &F) {
+  std::set<RegId> Seen;
+  for (const auto &BB : F.blocks())
+    for (const Instruction &I : BB->instructions()) {
+      for (RegId D : I.defs())
+        if (!F.isPhysical(D))
+          Seen.insert(D);
+      for (RegId U : I.uses())
+        if (!F.isPhysical(U))
+          Seen.insert(U);
+    }
+  return std::vector<RegId>(Seen.begin(), Seen.end());
+}
+
+namespace {
+
+/// The allocatable register pool, in assignment preference order.
+std::vector<RegId> allocatablePool(unsigned NumRegs) {
+  static const RegId Pool[] = {Target::R0, Target::R1, Target::R2,
+                               Target::R3, Target::R4, Target::R5,
+                               Target::R6, Target::R7, Target::P0,
+                               Target::P1, Target::P2, Target::P3};
+  unsigned N = std::min<unsigned>(NumRegs, 12);
+  return std::vector<RegId>(Pool, Pool + N);
+}
+
+/// Spill-cost weights: occurrences weighted 5^loopdepth (the same static
+/// frequency model as the paper's Table 5).
+std::map<RegId, double> spillCosts(const Function &F, const CFG &Cfg) {
+  DominatorTree DT(Cfg);
+  LoopInfo LI(Cfg, DT);
+  std::map<RegId, double> Cost;
+  for (const auto &BB : F.blocks()) {
+    double W = 1;
+    for (unsigned D = 0; D < LI.depth(BB.get()); ++D)
+      W *= 5;
+    for (const Instruction &I : BB->instructions()) {
+      for (RegId D : I.defs())
+        if (!F.isPhysical(D))
+          Cost[D] += W;
+      for (RegId U : I.uses())
+        if (!F.isPhysical(U))
+          Cost[U] += W;
+    }
+  }
+  return Cost;
+}
+
+/// One build/simplify/select round. Returns true if a full coloring was
+/// found (assignments in \p ColorOut); otherwise fills \p SpillOut.
+bool tryColor(Function &F, const std::vector<RegId> &Pool,
+              const std::set<RegId> &NoSpill,
+              std::map<RegId, RegId> &ColorOut,
+              std::vector<RegId> &SpillOut) {
+  CFG Cfg(F);
+  Liveness LV(Cfg);
+  InterferenceGraph IG(F, LV);
+  std::map<RegId, double> Cost = spillCosts(F, Cfg);
+
+  std::set<RegId> PoolSet(Pool.begin(), Pool.end());
+  std::vector<RegId> Nodes = collectVirtualRegs(F);
+  unsigned K = static_cast<unsigned>(Pool.size());
+
+  // Current degree counting both virtual neighbours and allocatable
+  // physical neighbours (precolored).
+  std::map<RegId, unsigned> Degree;
+  std::set<RegId> Remaining(Nodes.begin(), Nodes.end());
+  for (RegId V : Nodes) {
+    unsigned D = 0;
+    for (RegId N : IG.neighbors(V))
+      if (Remaining.count(N) || PoolSet.count(N))
+        ++D;
+    Degree[V] = D;
+  }
+
+  // Simplify with optimistic (Briggs) spill candidates.
+  std::vector<std::pair<RegId, bool>> Stack; // (node, isSpillCandidate)
+  while (!Remaining.empty()) {
+    RegId Pick = InvalidReg;
+    for (RegId V : Remaining)
+      if (Degree[V] < K && (Pick == InvalidReg ||
+                            Degree[V] > Degree[Pick])) // Heuristic: push
+        Pick = V; // high-degree-but-colorable first, color it late.
+    bool Candidate = false;
+    if (Pick == InvalidReg) {
+      // All remaining are high degree: choose the cheapest to spill,
+      // push optimistically.
+      double Best = 0;
+      for (RegId V : Remaining) {
+        if (NoSpill.count(V))
+          continue;
+        double Ratio = Cost[V] / (1.0 + Degree[V]);
+        if (Pick == InvalidReg || Ratio < Best) {
+          Pick = V;
+          Best = Ratio;
+        }
+      }
+      if (Pick == InvalidReg)
+        Pick = *Remaining.begin(); // Only no-spill temps left: force one.
+      Candidate = true;
+    }
+    Stack.push_back({Pick, Candidate});
+    Remaining.erase(Pick);
+    for (RegId N : IG.neighbors(Pick)) {
+      auto It = Degree.find(N);
+      if (It != Degree.end() && It->second > 0)
+        --It->second;
+    }
+  }
+
+  // Select.
+  ColorOut.clear();
+  SpillOut.clear();
+  while (!Stack.empty()) {
+    auto [V, WasCandidate] = Stack.back();
+    Stack.pop_back();
+    std::set<RegId> Forbidden;
+    for (RegId N : IG.neighbors(V)) {
+      if (PoolSet.count(N))
+        Forbidden.insert(N);
+      auto It = ColorOut.find(N);
+      if (It != ColorOut.end())
+        Forbidden.insert(It->second);
+    }
+    RegId Color = InvalidReg;
+    for (RegId R : Pool)
+      if (!Forbidden.count(R)) {
+        Color = R;
+        break;
+      }
+    if (Color == InvalidReg) {
+      (void)WasCandidate;
+      SpillOut.push_back(V);
+      continue;
+    }
+    ColorOut[V] = Color;
+  }
+  return SpillOut.empty();
+}
+
+/// Rewrites \p F to keep each register of \p Spilled in a stack slot:
+/// loads before uses, stores after defs, through fresh short-lived
+/// temporaries. Slot addresses are absolute (a dedicated region far from
+/// both the heap the workloads use and the SP frame): the mini-LAI SP is
+/// a *moving* dedicated register (spadjust chains), so SP-relative slots
+/// would alias differently before and after frame adjustments.
+void insertSpillCode(Function &F, const std::vector<RegId> &Spilled,
+                     std::map<RegId, int64_t> &SlotOf, unsigned &NextSlot,
+                     std::set<RegId> &NoSpill, RegAllocResult &Result) {
+  std::set<RegId> SpillSet(Spilled.begin(), Spilled.end());
+  for (RegId V : Spilled)
+    if (!SlotOf.count(V)) {
+      SlotOf[V] = 0x80000 + 8 * static_cast<int64_t>(NextSlot++);
+      ++Result.NumSpilled;
+    }
+
+  auto AddrOf = [&](RegId V, BasicBlock::InstList &List,
+                    BasicBlock::InstList::iterator Pos) {
+    RegId Addr = F.makeVirtual("sl.addr");
+    NoSpill.insert(Addr);
+    Instruction Lea(Opcode::Make);
+    Lea.addDef(Addr);
+    Lea.setImm(SlotOf[V]);
+    List.insert(Pos, std::move(Lea));
+    return Addr;
+  };
+
+  for (const auto &BB : F.blocks()) {
+    auto &List = BB->instructions();
+    for (auto It = List.begin(); It != List.end(); ++It) {
+      Instruction &I = *It;
+      // Loads before uses: one reload temp per instruction per value.
+      std::map<RegId, RegId> ReloadedAs;
+      for (unsigned K = 0; K < I.numUses(); ++K) {
+        RegId V = I.use(K);
+        if (!SpillSet.count(V))
+          continue;
+        auto Found = ReloadedAs.find(V);
+        if (Found == ReloadedAs.end()) {
+          // The reload register doubles as the address register
+          // (tmp = make slot; tmp = load tmp) to halve the register
+          // pressure of spill code.
+          RegId Tmp = F.makeVirtual(F.valueName(V) + ".ld");
+          NoSpill.insert(Tmp);
+          Instruction Lea(Opcode::Make);
+          Lea.addDef(Tmp);
+          Lea.setImm(SlotOf[V]);
+          List.insert(It, std::move(Lea));
+          Instruction Ld(Opcode::Load);
+          Ld.addDef(Tmp);
+          Ld.addUse(Tmp);
+          List.insert(It, std::move(Ld));
+          ++Result.NumSpillLoads;
+          Found = ReloadedAs.emplace(V, Tmp).first;
+        }
+        I.setUse(K, Found->second);
+      }
+      // Stores after defs.
+      for (unsigned K = 0; K < I.numDefs(); ++K) {
+        RegId V = I.def(K);
+        if (!SpillSet.count(V))
+          continue;
+        RegId Tmp = F.makeVirtual(F.valueName(V) + ".st");
+        NoSpill.insert(Tmp);
+        I.setDef(K, Tmp);
+        auto After = std::next(It);
+        RegId Addr = AddrOf(V, List, After);
+        Instruction St(Opcode::Store);
+        St.addUse(Addr);
+        St.addUse(Tmp);
+        List.insert(After, std::move(St));
+        ++Result.NumSpillStores;
+        // Skip over the inserted address+store so they are not
+        // re-processed as spill sites.
+        ++It;
+        ++It;
+      }
+    }
+  }
+}
+
+} // namespace
+
+RegAllocResult lao::allocateRegisters(Function &F,
+                                      const RegAllocOptions &Opts) {
+  RegAllocResult Result;
+  if (Opts.NumRegs < 2) {
+    Result.Error = "need at least two allocatable registers";
+    return Result;
+  }
+  std::vector<RegId> Pool = allocatablePool(Opts.NumRegs);
+  std::set<RegId> NoSpill;
+  std::map<RegId, int64_t> SlotOf;
+  unsigned NextSlot = 0;
+
+  for (unsigned Round = 0; Round < 64; ++Round) {
+    ++Result.NumRounds;
+    std::map<RegId, RegId> Color;
+    std::vector<RegId> Spills;
+    if (tryColor(F, Pool, NoSpill, Color, Spills)) {
+      // Rewrite operands to their colors.
+      std::set<RegId> Used;
+      for (const auto &BB : F.blocks())
+        for (Instruction &I : BB->instructions()) {
+          for (unsigned K = 0; K < I.numDefs(); ++K)
+            if (!F.isPhysical(I.def(K))) {
+              I.setDef(K, Color.at(I.def(K)));
+              Used.insert(I.def(K));
+            }
+          for (unsigned K = 0; K < I.numUses(); ++K)
+            if (!F.isPhysical(I.use(K))) {
+              I.setUse(K, Color.at(I.use(K)));
+              Used.insert(I.use(K));
+            }
+        }
+      Result.NumRegsUsed = static_cast<unsigned>(Used.size());
+      Result.FrameBytes = 8 * NextSlot;
+      Result.Ok = true;
+      return Result;
+    }
+    // Spill and retry. A spilled no-spill temp means the pool is too
+    // small for a single instruction's operands.
+    for (RegId V : Spills)
+      if (NoSpill.count(V)) {
+        Result.Error = formatStr(
+            "cannot allocate: instruction needs more than %zu registers",
+            Pool.size());
+        return Result;
+      }
+    insertSpillCode(F, Spills, SlotOf, NextSlot, NoSpill, Result);
+  }
+  Result.Error = "register allocation did not converge";
+  return Result;
+}

@@ -1,0 +1,68 @@
+//===- RegAlloc.h - Chaitin-Briggs register allocation ----------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chaitin-Briggs graph-coloring register allocator for the non-SSA
+/// machine code produced by the out-of-SSA pipelines. This implements the
+/// paper's *downstream consumer*: its [LIM4] remark observes that under
+/// register pressure, coalescing decisions change the colorability of the
+/// interference graph — this allocator makes that effect measurable
+/// (bench_regpressure).
+///
+/// Design:
+///  * allocatable classes: general-purpose registers R0..R7 for all
+///    virtuals except SP (dedicated, never allocated); P0..P3 join the
+///    pool as general registers (the mini-LAI ISA does not restrict
+///    pointer operands);
+///  * physical operands are precolored nodes;
+///  * Briggs-style optimistic simplify/select; potential spill choice by
+///    lowest (use count weighted by 5^depth) / degree;
+///  * spilling rewrites the function with a store after each definition
+///    and a load before each use, through frame slots addressed relative
+///    to SP, then the allocator retries (spill temps have tiny ranges);
+///  * the result is verified structurally (no virtual registers remain)
+///    and behaviourally (the interpreter oracle, in tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_REGALLOC_REGALLOC_H
+#define LAO_REGALLOC_REGALLOC_H
+
+#include "ir/Function.h"
+
+namespace lao {
+
+struct RegAllocOptions {
+  /// Number of general-purpose registers available (taken from
+  /// R0..R7, P0..P3 in that order). Lowering this creates the "strong
+  /// register pressure" regime of the paper's [LIM4].
+  unsigned NumRegs = 12;
+};
+
+struct RegAllocResult {
+  bool Ok = false;           ///< False if allocation failed (see Error).
+  std::string Error;
+  unsigned NumRounds = 0;    ///< Build/simplify/select iterations.
+  unsigned NumSpilled = 0;   ///< Distinct values spilled to the stack.
+  unsigned NumSpillLoads = 0;
+  unsigned NumSpillStores = 0;
+  unsigned NumRegsUsed = 0;  ///< Distinct physical registers assigned.
+  unsigned FrameBytes = 0;   ///< Spill frame size.
+};
+
+/// Allocates every virtual register of non-SSA \p F (no phis, no
+/// parallel copies) to a physical register, inserting spill code as
+/// needed. Mutates F; afterwards all operands are physical.
+RegAllocResult allocateRegisters(Function &F,
+                                 const RegAllocOptions &Opts = {});
+
+/// Returns the virtual registers still referenced by \p F (empty after
+/// a successful allocation).
+std::vector<RegId> collectVirtualRegs(const Function &F);
+
+} // namespace lao
+
+#endif // LAO_REGALLOC_REGALLOC_H

@@ -1,0 +1,93 @@
+//===- SSAVerifier.cpp - SSA invariant checks --------------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSAVerifier.h"
+
+#include "analysis/Dominators.h"
+#include "ir/CFG.h"
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace lao;
+
+std::vector<std::string> lao::verifySSA(const Function &F) {
+  std::vector<std::string> Diags;
+  CFG Cfg(const_cast<Function &>(F));
+  DominatorTree DT(Cfg);
+
+  // Locate the unique definition of every virtual register.
+  struct DefSite {
+    const BasicBlock *BB;
+    const Instruction *I;
+    unsigned Order; // Position of I within BB.
+  };
+  std::map<RegId, DefSite> Defs;
+  for (const auto &BB : F.blocks()) {
+    unsigned Order = 0;
+    for (const Instruction &I : BB->instructions()) {
+      for (RegId D : I.defs()) {
+        if (F.isPhysical(D))
+          continue;
+        auto [It, Inserted] = Defs.emplace(D, DefSite{BB.get(), &I, Order});
+        if (!Inserted)
+          Diags.push_back(formatStr("%%%s defined more than once",
+                                    F.valueName(D).c_str()));
+      }
+      ++Order;
+    }
+  }
+
+  // Order of each instruction for same-block dominance checks.
+  std::map<const Instruction *, unsigned> OrderOf;
+  for (const auto &BB : F.blocks()) {
+    unsigned Order = 0;
+    for (const Instruction &I : BB->instructions())
+      OrderOf[&I] = Order++;
+  }
+
+  auto CheckUse = [&](RegId V, const BasicBlock *UseBB,
+                      const Instruction *UseI, bool AtBlockEnd) {
+    if (F.isPhysical(V))
+      return;
+    auto It = Defs.find(V);
+    if (It == Defs.end()) {
+      Diags.push_back(formatStr("use of undefined %%%s in block %s",
+                                F.valueName(V).c_str(),
+                                UseBB->name().c_str()));
+      return;
+    }
+    const DefSite &D = It->second;
+    bool Ok;
+    if (D.BB == UseBB) {
+      // Same block: def must come before the use. Phi defs occur at block
+      // entry and so dominate everything in the block; a phi *use* at the
+      // end of the block is after everything.
+      Ok = AtBlockEnd || D.I->isPhi() ||
+           (!UseI->isPhi() && D.Order < OrderOf[UseI]);
+    } else {
+      Ok = DT.dominates(D.BB, UseBB);
+    }
+    if (!Ok)
+      Diags.push_back(formatStr("def of %%%s does not dominate use in %s",
+                                F.valueName(V).c_str(),
+                                UseBB->name().c_str()));
+  };
+
+  for (const auto &BB : F.blocks()) {
+    for (const Instruction &I : BB->instructions()) {
+      if (I.isPhi()) {
+        // Each argument is a use at the end of its incoming block.
+        for (unsigned K = 0; K < I.numUses(); ++K)
+          CheckUse(I.use(K), I.incomingBlock(K), &I, /*AtBlockEnd=*/true);
+        continue;
+      }
+      for (RegId U : I.uses())
+        CheckUse(U, BB.get(), &I, /*AtBlockEnd=*/false);
+    }
+  }
+  return Diags;
+}

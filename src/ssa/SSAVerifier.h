@@ -1,0 +1,30 @@
+//===- SSAVerifier.h - SSA invariant checks ---------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA-specific invariant checks: single assignment of every virtual
+/// register and dominance of uses by definitions (phi arguments checked at
+/// the end of the incoming block, matching the paper's liveness model).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SSA_SSAVERIFIER_H
+#define LAO_SSA_SSAVERIFIER_H
+
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace lao {
+
+/// Returns diagnostics for violated SSA invariants (empty = valid SSA).
+/// Physical registers are exempt from the single-assignment rule.
+std::vector<std::string> verifySSA(const Function &F);
+
+} // namespace lao
+
+#endif // LAO_SSA_SSAVERIFIER_H

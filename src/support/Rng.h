@@ -1,0 +1,57 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. Workload generation must be stable
+/// across platforms and standard library versions, so we avoid <random>
+/// distributions entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SUPPORT_RNG_H
+#define LAO_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace lao {
+
+/// Deterministic 64-bit RNG (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniform in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Returns a value uniform in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "inverted range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace lao
+
+#endif // LAO_SUPPORT_RNG_H

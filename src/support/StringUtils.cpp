@@ -1,0 +1,53 @@
+//===- StringUtils.cpp - Small string helpers -----------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace lao;
+
+std::string lao::formatStr(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result;
+  if (Needed > 0) {
+    Result.resize(static_cast<size_t>(Needed) + 1);
+    std::vsnprintf(Result.data(), Result.size(), Fmt, ArgsCopy);
+    Result.resize(static_cast<size_t>(Needed));
+  }
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::vector<std::string> lao::splitString(const std::string &Text, char Sep) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == Sep) {
+      if (!Cur.empty())
+        Parts.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    Cur.push_back(C);
+  }
+  if (!Cur.empty())
+    Parts.push_back(Cur);
+  return Parts;
+}
+
+std::string lao::trimString(const std::string &Text) {
+  size_t Begin = Text.find_first_not_of(" \t\r\n");
+  if (Begin == std::string::npos)
+    return std::string();
+  size_t End = Text.find_last_not_of(" \t\r\n");
+  return Text.substr(Begin, End - Begin + 1);
+}

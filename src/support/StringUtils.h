@@ -1,0 +1,34 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting and a few parsing helpers shared by
+/// the IR printer/parser and the bench table writers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SUPPORT_STRINGUTILS_H
+#define LAO_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace lao {
+
+/// Returns a std::string produced by printf-style formatting.
+std::string formatStr(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p Text on \p Sep, dropping empty pieces.
+std::vector<std::string> splitString(const std::string &Text, char Sep);
+
+/// Returns \p Text with leading/trailing whitespace removed.
+std::string trimString(const std::string &Text);
+
+} // namespace lao
+
+#endif // LAO_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,53 @@
+//===- Generator.h - Structured random program generator --------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic structured-program generator standing in for the paper's
+/// benchmark sources (C DSP kernels, the efr vocoder, SPEC CINT2000).
+/// It emits *non-SSA* mini-LAI: mutable variables, nested bounded loops,
+/// if/else diamonds, calls (ABI pressure), 2-operand and pointer
+/// (autoadd) instructions, optional SP frame chains and psi predication.
+/// Suites convert the output to pruned SSA and optimize it before the
+/// out-of-SSA experiments, exactly as the LAO pipeline would.
+///
+/// Every variable is initialized at its declaration point, so SSA
+/// renaming never sees an undefined use, and all loops have constant
+/// trip counts, so interpretation terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_WORKLOADS_GENERATOR_H
+#define LAO_WORKLOADS_GENERATOR_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+
+namespace lao {
+
+struct GeneratorParams {
+  uint64_t Seed = 1;
+  unsigned NumStatements = 20; ///< Statement budget at the top level.
+  unsigned MaxNesting = 2;     ///< Max loop/if nesting depth.
+  unsigned NumParams = 2;      ///< Function parameters (<= 4 in registers).
+  unsigned CallPercent = 15;   ///< Probability a statement is a call.
+  unsigned MutatePercent = 45; ///< Probability an assignment mutates an
+                               ///< existing variable (drives phi webs).
+  bool UseSP = false;          ///< Emit an SP frame adjust chain.
+  bool UsePointers = true;     ///< autoadd/load/store pointer chains.
+  bool UsePsi = false;         ///< Predicated psi statements.
+  bool ExtraCopies = false;    ///< "Second compiler" style: route values
+                               ///< through redundant temporaries (VALcc2).
+};
+
+/// Generates a non-SSA function named \p Name.
+std::unique_ptr<Function> generateProgram(const GeneratorParams &Params,
+                                          const std::string &Name);
+
+} // namespace lao
+
+#endif // LAO_WORKLOADS_GENERATOR_H

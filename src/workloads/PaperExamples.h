@@ -1,0 +1,49 @@
+//===- PaperExamples.h - The paper's worked figures -------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-built mini-LAI encodings of the paper's worked examples. Each
+/// returns a function in pinned or unpinned SSA form as the figure shows
+/// it (modulo small completions needed to make the excerpts executable:
+/// explicit entries, terminators, and deterministic outputs).
+///
+/// Figure 1  — ABI parameter/result constraints, autoadd and more.
+/// Figure 2  — the SP over-pinning that yields incorrect parallel copies
+///             (two same-block phis pinned to SP).
+/// Figure 3  — Leung & George repair + redundant-copy elision.
+/// Figure 5  — the phi coalescing gain/interference trade-off.
+/// Figure 7  — the two-block worked example of Program_pinning.
+/// Figure 8  — partial coalescing beyond Chaitin ([CC1]).
+/// Figure 9  — whole-block phi optimization vs Sreedhar ([CS1]).
+/// Figure 10 — parallel-copy placement vs Sreedhar ([CS2]).
+/// Figure 11 — ABI-aware choice vs Sreedhar ([CS3]).
+/// Figure 12 — repair-variable limitation of Leung & George ([LIM2]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_WORKLOADS_PAPEREXAMPLES_H
+#define LAO_WORKLOADS_PAPEREXAMPLES_H
+
+#include "ir/Function.h"
+
+#include <memory>
+
+namespace lao {
+
+std::unique_ptr<Function> makeFigure1();
+std::unique_ptr<Function> makeFigure2();
+std::unique_ptr<Function> makeFigure3();
+std::unique_ptr<Function> makeFigure5();
+std::unique_ptr<Function> makeFigure7();
+std::unique_ptr<Function> makeFigure8();
+std::unique_ptr<Function> makeFigure9();
+std::unique_ptr<Function> makeFigure10();
+std::unique_ptr<Function> makeFigure11();
+std::unique_ptr<Function> makeFigure12();
+
+} // namespace lao
+
+#endif // LAO_WORKLOADS_PAPEREXAMPLES_H

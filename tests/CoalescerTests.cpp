@@ -1,0 +1,275 @@
+//===- CoalescerTests.cpp - Chaitin coalescer and NaiveABI tests ------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/InterferenceGraph.h"
+#include "analysis/Liveness.h"
+#include "ir/CFG.h"
+#include "outofssa/Coalescer.h"
+#include "outofssa/LeungGeorge.h"
+#include "outofssa/MoveStats.h"
+#include "outofssa/NaiveABI.h"
+
+#include <gtest/gtest.h>
+
+using namespace lao;
+using namespace lao::test;
+
+TEST(InterferenceGraph, DefInterferesWithLive) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p
+  %b = addi %p, 1
+  %a = addi %p, 2
+  %u = add %b, %a
+  ret %u
+}
+)");
+  CFG Cfg(*F);
+  Liveness LV(Cfg);
+  InterferenceGraph IG(*F, LV);
+  RegId A = F->findValue("a"), B = F->findValue("b");
+  EXPECT_TRUE(IG.interfere(A, B));
+  EXPECT_FALSE(IG.interfere(A, F->findValue("u")));
+}
+
+TEST(InterferenceGraph, MoveSourceExemption) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p
+  %a = mov %p
+  %u = add %a, %a
+  %v = add %u, %p
+  ret %v
+}
+)");
+  CFG Cfg(*F);
+  Liveness LV(Cfg);
+  InterferenceGraph IG(*F, LV);
+  RegId A = F->findValue("a"), P = F->findValue("p");
+  // p is live past the move (used by v) but a = mov p does not make
+  // them interfere by itself... unless a is redefined while p lives.
+  EXPECT_FALSE(IG.interfere(A, P));
+}
+
+TEST(InterferenceGraph, MergePreservesNeighbors) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p
+  %b = addi %p, 1
+  %a = addi %p, 2
+  %u = add %b, %a
+  ret %u
+}
+)");
+  CFG Cfg(*F);
+  Liveness LV(Cfg);
+  InterferenceGraph IG(*F, LV);
+  RegId A = F->findValue("a"), B = F->findValue("b");
+  RegId U = F->findValue("u");
+  EXPECT_FALSE(IG.interfere(U, B));
+  IG.mergeInto(U, A); // u absorbs a; a interfered with b.
+  EXPECT_TRUE(IG.interfere(U, B));
+  EXPECT_TRUE(IG.neighbors(A).empty());
+}
+
+TEST(Coalescer, RemovesNonInterferingMove) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p
+  %a = addi %p, 1
+  %b = mov %a
+  %r = add %b, %b
+  ret %r
+}
+)");
+  auto Before = cloneFunction(*F);
+  CoalescerStats Stats = coalesceAggressively(*F);
+  EXPECT_EQ(Stats.NumMovesRemoved, 1u);
+  EXPECT_EQ(countMoves(*F), 0u);
+  expectEquivalent(*Before, *F, {4});
+}
+
+TEST(Coalescer, KeepsInterferingMove) {
+  // a is still used after b is redefined through it: they interfere.
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p
+  %a = addi %p, 1
+  %b = mov %a
+  %b = addi %b, 5
+  %r = add %a, %b
+  ret %r
+}
+)");
+  auto Before = cloneFunction(*F);
+  CoalescerStats Stats = coalesceAggressively(*F);
+  EXPECT_EQ(Stats.NumMovesRemoved, 0u);
+  EXPECT_EQ(countMoves(*F), 1u);
+  expectEquivalent(*Before, *F, {4});
+}
+
+TEST(Coalescer, ChainsCascadeAcrossRounds) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p
+  %a = mov %p
+  %b = mov %a
+  %c = mov %b
+  %r = add %c, %c
+  ret %r
+}
+)");
+  auto Before = cloneFunction(*F);
+  CoalescerStats Stats = coalesceAggressively(*F);
+  EXPECT_EQ(Stats.NumMovesRemoved, 3u);
+  expectEquivalent(*Before, *F, {9});
+}
+
+TEST(Coalescer, PhysicalSurvivesAsName) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p
+  %R0 = mov %p
+  %r = call @f(%R0)
+  ret %r
+}
+)");
+  auto Before = cloneFunction(*F);
+  coalesceAggressively(*F);
+  // p merged into R0: the call operand must still be R0.
+  for (const auto &BB : F->blocks())
+    for (const Instruction &I : BB->instructions())
+      if (I.op() == Opcode::Call)
+        EXPECT_EQ(I.use(0), static_cast<RegId>(Target::R0));
+  expectEquivalent(*Before, *F, {3});
+}
+
+TEST(Coalescer, NeverMergesTwoPhysicals) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p
+  %R0 = mov %p
+  %R1 = mov %R0
+  %r = call @f(%R0, %R1)
+  ret %r
+}
+)");
+  coalesceAggressively(*F);
+  // The R1 = R0 move cannot be removed (two machine registers).
+  EXPECT_GE(countMoves(*F), 1u);
+}
+
+TEST(NaiveABI, InsertsMovesAroundCall) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  %r = call @g(%a, %b)
+  ret %r
+}
+)");
+  auto Before = cloneFunction(*F);
+  unsigned Moves = lowerABINaively(*F);
+  sequentializeParallelCopies(*F);
+  // input: 2 copies out of R0/R1; call: 2 copies in, 1 result copy out;
+  // ret: 1 copy. Total 6.
+  EXPECT_EQ(Moves, 6u);
+  // The call now reads R0/R1 and writes R0.
+  for (const auto &BB : F->blocks())
+    for (const Instruction &I : BB->instructions())
+      if (I.op() == Opcode::Call) {
+        EXPECT_EQ(I.use(0), static_cast<RegId>(Target::R0));
+        EXPECT_EQ(I.use(1), static_cast<RegId>(Target::R1));
+        EXPECT_EQ(I.def(0), static_cast<RegId>(Target::R0));
+      }
+  expectEquivalent(*Before, *F, {8, 9});
+}
+
+TEST(NaiveABI, TiesTwoOperandInstructions) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  %k = more %a, 7
+  %r = add %k, %a
+  ret %r
+}
+)");
+  auto Before = cloneFunction(*F);
+  lowerABINaively(*F);
+  sequentializeParallelCopies(*F);
+  for (const auto &BB : F->blocks())
+    for (const Instruction &I : BB->instructions())
+      if (I.op() == Opcode::More)
+        EXPECT_EQ(I.def(0), I.use(0));
+  expectEquivalent(*Before, *F, {5});
+}
+
+TEST(NaiveABI, MostMovesCoalesceAway) {
+  // The Table 3/4 story: naive ABI lowering inserts many moves, and the
+  // aggressive coalescer removes most but not all of them.
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  %x = add %a, %b
+  %r = call @g(%x, %a)
+  %s = call @h(%r, %b)
+  ret %s
+}
+)");
+  auto Before = cloneFunction(*F);
+  unsigned Inserted = lowerABINaively(*F);
+  sequentializeParallelCopies(*F);
+  EXPECT_GE(Inserted, 8u);
+  coalesceAggressively(*F);
+  EXPECT_LT(countMoves(*F), Inserted);
+  expectEquivalent(*Before, *F, {100, 200});
+}
+
+TEST(MoveStats, CountsMovsAndParCopyEntries) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  %x = mov %a
+  parcopy %a = %b, %b = %a
+  ret %x
+}
+)");
+  EXPECT_EQ(countMoves(*F), 3u);
+}
+
+TEST(MoveStats, WeightedCountUses5PowDepth) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  %m0 = mov %a
+  jump head
+head:
+  %c = cmplt %m0, %a
+  branch %c, body, done
+body:
+  %m1 = mov %a
+  jump head
+done:
+  ret %a
+}
+)");
+  // One move at depth 0 (weight 1) + one at depth 1 (weight 5).
+  EXPECT_EQ(weightedMoveCount(*F), 6u);
+}

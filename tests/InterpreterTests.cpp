@@ -1,0 +1,270 @@
+//===- InterpreterTests.cpp - Mini-LAI interpreter tests --------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace lao;
+using namespace lao::test;
+
+TEST(Interpreter, ArithmeticAndReturn) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  %s = add %a, %b
+  %d = sub %s, %b
+  %m = mul %d, %b
+  ret %m
+}
+)");
+  ExecResult R = interpret(*F, {7, 3});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.RetValue, 7u * 3u);
+}
+
+TEST(Interpreter, CompareAndBranch) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  %c = cmplt %a, %b
+  branch %c, less, geq
+less:
+  %one = make 1
+  ret %one
+geq:
+  %zero = make 0
+  ret %zero
+}
+)");
+  EXPECT_EQ(interpret(*F, {1, 2}).RetValue, 1u);
+  EXPECT_EQ(interpret(*F, {2, 1}).RetValue, 0u);
+  EXPECT_EQ(interpret(*F, {2, 2}).RetValue, 0u);
+}
+
+TEST(Interpreter, SignedCompare) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  %c = cmplt %a, %b
+  ret %c
+}
+)");
+  // -1 < 1 under signed semantics.
+  EXPECT_EQ(interpret(*F, {static_cast<uint64_t>(-1), 1}).RetValue, 1u);
+}
+
+TEST(Interpreter, PhiTakesValueFromIncomingEdge) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  branch %a, t, e
+t:
+  %x1 = make 10
+  jump j
+e:
+  %x2 = make 20
+  jump j
+j:
+  %x = phi [%x1, t], [%x2, e]
+  ret %x
+}
+)");
+  EXPECT_EQ(interpret(*F, {1}).RetValue, 10u);
+  EXPECT_EQ(interpret(*F, {0}).RetValue, 20u);
+}
+
+TEST(Interpreter, PhiGroupIsParallel) {
+  // The classic swap: both phis read the values from before the jump.
+  auto F = parse(R"(
+func @f {
+entry:
+  input %n
+  %a0 = make 1
+  %b0 = make 2
+  %i0 = make 0
+  jump loop
+loop:
+  %a = phi [%a0, entry], [%b, latch]
+  %b = phi [%b0, entry], [%a, latch]
+  %i = phi [%i0, entry], [%i2, latch]
+  %i2 = addi %i, 1
+  %c = cmplt %i2, %n
+  branch %c, latch, done
+latch:
+  jump loop
+done:
+  %r = shl %a, %b0
+  %r2 = add %r, %b
+  ret %r2
+}
+)");
+  // After 1 iteration (n=2): a=2, b=1 -> r = 2<<2 = 8, r2 = 9.
+  ExecResult R = interpret(*F, {2});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.RetValue, 9u);
+}
+
+TEST(Interpreter, ParCopyIsParallel) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  parcopy %a = %b, %b = %a
+  %r = shl %a, %b
+  ret %r
+}
+)");
+  // Swap 3,1 -> a=1, b=3 -> 1<<3 = 8.
+  EXPECT_EQ(interpret(*F, {3, 1}).RetValue, 8u);
+}
+
+TEST(Interpreter, MemoryRoundTrip) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %v
+  %p = make 4096
+  store %p, %v
+  %l = load %p
+  ret %l
+}
+)");
+  EXPECT_EQ(interpret(*F, {123}).RetValue, 123u);
+}
+
+TEST(Interpreter, UnwrittenMemoryIsDeterministic) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  %p = make 4096
+  %l = load %p
+  ret %l
+}
+)");
+  EXPECT_EQ(interpret(*F, {0}).RetValue, interpret(*F, {0}).RetValue);
+}
+
+TEST(Interpreter, CallsAreDeterministicBuiltins) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  %r = call @mix(%a, %b)
+  ret %r
+}
+)");
+  ExecResult R = interpret(*F, {5, 6});
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.RetValue, builtinCall("mix", {5, 6}));
+  // Different callee name yields a different value.
+  EXPECT_NE(R.RetValue, builtinCall("max", {5, 6}));
+}
+
+TEST(Interpreter, PsiSelects) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %p, %a, %b
+  %r = psi %p, %a, %b
+  ret %r
+}
+)");
+  EXPECT_EQ(interpret(*F, {1, 10, 20}).RetValue, 10u);
+  EXPECT_EQ(interpret(*F, {0, 10, 20}).RetValue, 20u);
+}
+
+TEST(Interpreter, TwoOperandSemantics) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  %k = more %a^k, 255
+  %q = autoadd %k^q, 4
+  ret %q
+}
+)");
+  // more: a | (255 << 16); autoadd: +4.
+  EXPECT_EQ(interpret(*F, {1}).RetValue, (1u | (255u << 16)) + 4u);
+}
+
+TEST(Interpreter, OutputsTraceInOrder) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  output %a
+  %b = addi %a, 1
+  output %b
+  ret %b
+}
+)");
+  ExecResult R = interpret(*F, {9});
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Outputs.size(), 2u);
+  EXPECT_EQ(R.Outputs[0], 9u);
+  EXPECT_EQ(R.Outputs[1], 10u);
+}
+
+TEST(Interpreter, UndefinedReadIsAnError) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  %r = add %a, %R3
+  ret %r
+}
+)");
+  ExecResult R = interpret(*F, {1});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("undefined"), std::string::npos);
+}
+
+TEST(Interpreter, SPIsInitialized) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  %sp1 = spadjust %SP, -16
+  ret %sp1
+}
+)");
+  ExecResult R = interpret(*F, {0});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.RetValue, 0x100000u - 16);
+}
+
+TEST(Interpreter, StepLimitStopsRunaways) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  jump spin
+spin:
+  jump spin
+}
+)");
+  ExecResult R = interpret(*F, {0}, /*MaxSteps=*/1000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(Interpreter, WrongArgCountIsAnError) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b
+  ret %a
+}
+)");
+  EXPECT_FALSE(interpret(*F, {1}).Ok);
+  EXPECT_TRUE(interpret(*F, {1, 2}).Ok);
+}

@@ -1,0 +1,159 @@
+//===- SupportTests.cpp - UnionFind/BitVector/Rng/String tests --------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace lao;
+
+TEST(UnionFind, SingletonsAreTheirOwnRoots) {
+  UnionFind UF(5);
+  for (uint32_t I = 0; I < 5; ++I)
+    EXPECT_EQ(UF.find(I), I);
+}
+
+TEST(UnionFind, MergeJoinsSets) {
+  UnionFind UF(6);
+  UF.merge(0, 1);
+  UF.merge(2, 3);
+  EXPECT_TRUE(UF.sameSet(0, 1));
+  EXPECT_TRUE(UF.sameSet(2, 3));
+  EXPECT_FALSE(UF.sameSet(1, 2));
+  UF.merge(1, 2);
+  EXPECT_TRUE(UF.sameSet(0, 3));
+  EXPECT_FALSE(UF.sameSet(0, 4));
+}
+
+TEST(UnionFind, PreferAKeepsRepresentative) {
+  UnionFind UF(10);
+  // Grow set 5 large so size-based union would prefer it.
+  for (uint32_t I = 6; I < 10; ++I)
+    UF.merge(5, I);
+  uint32_t Rep = UF.merge(0, 5, /*PreferA=*/true);
+  EXPECT_EQ(Rep, 0u);
+  EXPECT_EQ(UF.find(7), 0u);
+}
+
+TEST(UnionFind, GrowPreservesExistingSets) {
+  UnionFind UF(3);
+  UF.merge(0, 2);
+  UF.grow(8);
+  EXPECT_TRUE(UF.sameSet(0, 2));
+  EXPECT_EQ(UF.find(7), 7u);
+}
+
+TEST(UnionFind, MergeIsIdempotent) {
+  UnionFind UF(4);
+  uint32_t R1 = UF.merge(1, 2);
+  uint32_t R2 = UF.merge(1, 2);
+  EXPECT_EQ(R1, R2);
+}
+
+TEST(BitVector, SetTestReset) {
+  BitVector BV(130);
+  EXPECT_FALSE(BV.test(0));
+  BV.set(0);
+  BV.set(64);
+  BV.set(129);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(129));
+  EXPECT_FALSE(BV.test(65));
+  BV.reset(64);
+  EXPECT_FALSE(BV.test(64));
+  EXPECT_EQ(BV.count(), 2u);
+}
+
+TEST(BitVector, OrWithReportsChange) {
+  BitVector A(70), B(70);
+  B.set(3);
+  B.set(69);
+  EXPECT_TRUE(A.orWith(B));
+  EXPECT_FALSE(A.orWith(B)); // Second or changes nothing.
+  EXPECT_TRUE(A.test(3));
+  EXPECT_TRUE(A.test(69));
+}
+
+TEST(BitVector, SubtractAndAnyCommon) {
+  BitVector A(64), B(64);
+  A.set(1);
+  A.set(2);
+  B.set(2);
+  EXPECT_TRUE(A.anyCommon(B));
+  A.subtract(B);
+  EXPECT_FALSE(A.anyCommon(B));
+  EXPECT_TRUE(A.test(1));
+  EXPECT_FALSE(A.test(2));
+}
+
+TEST(BitVector, ForEachVisitsAscending) {
+  BitVector BV(200);
+  std::vector<size_t> Expected = {0, 63, 64, 127, 199};
+  for (size_t I : Expected)
+    BV.set(I);
+  std::vector<size_t> Seen;
+  BV.forEach([&](size_t I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, Expected);
+}
+
+TEST(BitVector, EqualityIncludesSize) {
+  BitVector A(10), B(11);
+  EXPECT_FALSE(A == B);
+  BitVector C(10);
+  EXPECT_TRUE(A == C);
+  C.set(3);
+  EXPECT_FALSE(A == C);
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 200; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u) << "all values of a small range should occur";
+}
+
+TEST(StringUtils, FormatStr) {
+  EXPECT_EQ(formatStr("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatStr("empty"), "empty");
+}
+
+TEST(StringUtils, SplitDropsEmptyPieces) {
+  auto Parts = splitString("a,,b,c,", ',');
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trimString("  x y \t\n"), "x y");
+  EXPECT_EQ(trimString("   "), "");
+  EXPECT_EQ(trimString("z"), "z");
+}

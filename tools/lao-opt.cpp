@@ -1,0 +1,221 @@
+//===- lao-opt.cpp - Command-line driver ----------------------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reads a mini-LAI function from a file (or stdin with "-"), runs the
+// requested passes, and prints the result. A miniature of the original
+// LAO tool's command line.
+//
+//   lao-opt [options] <file.lai|->
+//     --ssa               build optimized pruned SSA first (for non-SSA
+//                         input)
+//     --ifconvert         if-convert diamonds to psi (implies --ssa input)
+//     --pipeline=<name>   run an out-of-SSA preset (e.g. Lphi,ABI+C; see
+//                         Pipeline.h; default: none)
+//     --regalloc[=N]      allocate registers afterwards (N registers,
+//                         default 12)
+//     --run a,b,...       interpret with the given integer arguments and
+//                         print the trace
+//     --dot               print the CFG as Graphviz instead of text
+//     --verify            print structural/pinning/SSA diagnostics
+//     --stats             print pass statistics
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Interpreter.h"
+#include "ir/Clone.h"
+#include "ir/DotExport.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "outofssa/MoveStats.h"
+#include "outofssa/Pipeline.h"
+#include "regalloc/RegAlloc.h"
+#include "ssa/IfConversion.h"
+#include "ssa/SSAVerifier.h"
+#include "support/StringUtils.h"
+#include "workloads/Suites.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lao;
+
+namespace {
+
+struct Options {
+  bool BuildSSA = false;
+  bool IfConvert = false;
+  std::string Pipeline;
+  bool RegAlloc = false;
+  unsigned NumRegs = 12;
+  bool Dot = false;
+  bool Verify = false;
+  bool Stats = false;
+  std::vector<uint64_t> RunArgs;
+  bool Run = false;
+  std::string InputPath;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--ssa] [--ifconvert] [--pipeline=<preset>] "
+      "[--regalloc[=N]] [--run a,b,...] [--verify] [--stats] "
+      "<file.lai|->\n",
+      Argv0);
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    if (A == "--ssa") {
+      Opts.BuildSSA = true;
+    } else if (A == "--ifconvert") {
+      Opts.IfConvert = true;
+    } else if (A.rfind("--pipeline=", 0) == 0) {
+      Opts.Pipeline = A.substr(std::strlen("--pipeline="));
+    } else if (A == "--regalloc") {
+      Opts.RegAlloc = true;
+    } else if (A.rfind("--regalloc=", 0) == 0) {
+      Opts.RegAlloc = true;
+      Opts.NumRegs = static_cast<unsigned>(
+          std::strtoul(A.c_str() + std::strlen("--regalloc="), nullptr,
+                       10));
+    } else if (A.rfind("--run", 0) == 0) {
+      Opts.Run = true;
+      std::string List =
+          A.size() > 5 && A[5] == '=' ? A.substr(6) : std::string();
+      if (List.empty() && K + 1 < Argc)
+        List = Argv[++K];
+      for (const std::string &Piece : splitString(List, ','))
+        Opts.RunArgs.push_back(std::strtoull(Piece.c_str(), nullptr, 0));
+    } else if (A == "--dot") {
+      Opts.Dot = true;
+    } else if (A == "--verify") {
+      Opts.Verify = true;
+    } else if (A == "--stats") {
+      Opts.Stats = true;
+    } else if (!A.empty() && A[0] == '-' && A != "-") {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return false;
+    } else {
+      Opts.InputPath = A;
+    }
+  }
+  return !Opts.InputPath.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage(Argv[0]);
+
+  std::string Text;
+  if (Opts.InputPath == "-") {
+    std::stringstream SS;
+    SS << std::cin.rdbuf();
+    Text = SS.str();
+  } else {
+    std::ifstream In(Opts.InputPath);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", Opts.InputPath.c_str());
+      return 1;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Text = SS.str();
+  }
+
+  std::string Error;
+  auto F = parseFunction(Text, &Error);
+  if (!F) {
+    std::fprintf(stderr, "parse error: %s\n", Error.c_str());
+    return 1;
+  }
+
+  if (Opts.Verify) {
+    for (const std::string &D : verifyStructure(*F))
+      std::fprintf(stderr, "structure: %s\n", D.c_str());
+    for (const std::string &D : verifyPinning(*F))
+      std::fprintf(stderr, "pinning: %s\n", D.c_str());
+  }
+
+  std::unique_ptr<Function> Reference; // Pre-transform, for --run.
+  if (Opts.Run)
+    Reference = cloneFunction(*F);
+
+  if (Opts.BuildSSA) {
+    normalizeToOptimizedSSA(*F);
+    if (Opts.Verify)
+      for (const std::string &D : verifySSA(*F))
+        std::fprintf(stderr, "ssa: %s\n", D.c_str());
+  }
+  if (Opts.IfConvert) {
+    IfConversionStats S = convertIfsToPsi(*F);
+    if (Opts.Stats)
+      std::fprintf(stderr,
+                   "ifconvert: %u diamonds, %u triangles, %u psis\n",
+                   S.NumDiamondsConverted, S.NumTrianglesConverted,
+                   S.NumPsisCreated);
+  }
+  if (!Opts.Pipeline.empty()) {
+    PipelineResult R = runPipeline(*F, pipelinePreset(Opts.Pipeline));
+    if (Opts.Stats)
+      std::fprintf(stderr,
+                   "pipeline %s: moves=%u weighted=%llu phi-copies=%u "
+                   "pin-copies=%u repairs=%u elided=%u\n",
+                   Opts.Pipeline.c_str(), R.NumMoves,
+                   static_cast<unsigned long long>(R.WeightedMoves),
+                   R.Translate.NumPhiCopies, R.Translate.NumPinCopies,
+                   R.Translate.NumRepairs, R.Translate.NumElidedCopies);
+  }
+  if (Opts.RegAlloc) {
+    RegAllocOptions RA;
+    RA.NumRegs = Opts.NumRegs;
+    RegAllocResult R = allocateRegisters(*F, RA);
+    if (!R.Ok) {
+      std::fprintf(stderr, "regalloc failed: %s\n", R.Error.c_str());
+      return 1;
+    }
+    if (Opts.Stats)
+      std::fprintf(stderr,
+                   "regalloc: %u regs used, %u spilled (%u loads, "
+                   "%u stores), frame %u bytes\n",
+                   R.NumRegsUsed, R.NumSpilled, R.NumSpillLoads,
+                   R.NumSpillStores, R.FrameBytes);
+  }
+
+  if (Opts.Dot)
+    std::printf("%s", exportDot(*F).c_str());
+  else
+    std::printf("%s", printFunction(*F).c_str());
+
+  if (Opts.Run) {
+    ExecResult Ref = interpret(*Reference, Opts.RunArgs);
+    ExecResult Res = interpret(*F, Opts.RunArgs);
+    if (!Res.Ok) {
+      std::fprintf(stderr, "run error: %s\n", Res.Error.c_str());
+      return 1;
+    }
+    std::printf("; run:");
+    for (uint64_t V : Res.Outputs)
+      std::printf(" out=%llu", static_cast<unsigned long long>(V));
+    std::printf(" ret=%llu", static_cast<unsigned long long>(Res.RetValue));
+    if (Ref.Ok)
+      std::printf(" (matches input program: %s)",
+                  Ref.sameObservable(Res) ? "yes" : "NO");
+    std::printf("\n");
+  }
+  return 0;
+}
