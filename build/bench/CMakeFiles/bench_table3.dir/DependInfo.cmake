@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3.cpp" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o" "gcc" "bench/CMakeFiles/bench_table3.dir/bench_table3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/outofssa/CMakeFiles/lao_outofssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/lao_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lao_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lao_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/lao_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lao_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abi_constraints.dir/abi_constraints.cpp.o"
+  "CMakeFiles/abi_constraints.dir/abi_constraints.cpp.o.d"
+  "abi_constraints"
+  "abi_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abi_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_kernel.dir/dsp_kernel.cpp.o"
+  "CMakeFiles/dsp_kernel.dir/dsp_kernel.cpp.o.d"
+  "dsp_kernel"
+  "dsp_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

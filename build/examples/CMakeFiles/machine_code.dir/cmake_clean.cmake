@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_code.dir/machine_code.cpp.o"
+  "CMakeFiles/machine_code.dir/machine_code.cpp.o.d"
+  "machine_code"
+  "machine_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_compare.dir/pipeline_compare.cpp.o"
+  "CMakeFiles/pipeline_compare.dir/pipeline_compare.cpp.o.d"
+  "pipeline_compare"
+  "pipeline_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao_analysis.dir/Dominators.cpp.o"
+  "CMakeFiles/lao_analysis.dir/Dominators.cpp.o.d"
+  "CMakeFiles/lao_analysis.dir/InterferenceGraph.cpp.o"
+  "CMakeFiles/lao_analysis.dir/InterferenceGraph.cpp.o.d"
+  "CMakeFiles/lao_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/lao_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/lao_analysis.dir/LoopInfo.cpp.o"
+  "CMakeFiles/lao_analysis.dir/LoopInfo.cpp.o.d"
+  "liblao_analysis.a"
+  "liblao_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

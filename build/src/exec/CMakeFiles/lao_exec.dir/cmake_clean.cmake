@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao_exec.dir/Interpreter.cpp.o"
+  "CMakeFiles/lao_exec.dir/Interpreter.cpp.o.d"
+  "liblao_exec.a"
+  "liblao_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/CFG.cpp" "src/ir/CMakeFiles/lao_ir.dir/CFG.cpp.o" "gcc" "src/ir/CMakeFiles/lao_ir.dir/CFG.cpp.o.d"
+  "/root/repo/src/ir/Clone.cpp" "src/ir/CMakeFiles/lao_ir.dir/Clone.cpp.o" "gcc" "src/ir/CMakeFiles/lao_ir.dir/Clone.cpp.o.d"
+  "/root/repo/src/ir/DotExport.cpp" "src/ir/CMakeFiles/lao_ir.dir/DotExport.cpp.o" "gcc" "src/ir/CMakeFiles/lao_ir.dir/DotExport.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/ir/CMakeFiles/lao_ir.dir/IRParser.cpp.o" "gcc" "src/ir/CMakeFiles/lao_ir.dir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/lao_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/lao_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Opcode.cpp" "src/ir/CMakeFiles/lao_ir.dir/Opcode.cpp.o" "gcc" "src/ir/CMakeFiles/lao_ir.dir/Opcode.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/lao_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/lao_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao_ir.dir/CFG.cpp.o"
+  "CMakeFiles/lao_ir.dir/CFG.cpp.o.d"
+  "CMakeFiles/lao_ir.dir/Clone.cpp.o"
+  "CMakeFiles/lao_ir.dir/Clone.cpp.o.d"
+  "CMakeFiles/lao_ir.dir/DotExport.cpp.o"
+  "CMakeFiles/lao_ir.dir/DotExport.cpp.o.d"
+  "CMakeFiles/lao_ir.dir/IRParser.cpp.o"
+  "CMakeFiles/lao_ir.dir/IRParser.cpp.o.d"
+  "CMakeFiles/lao_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/lao_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/lao_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/lao_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/lao_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/lao_ir.dir/Verifier.cpp.o.d"
+  "liblao_ir.a"
+  "liblao_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/outofssa/Coalescer.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/Coalescer.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/Coalescer.cpp.o.d"
+  "/root/repo/src/outofssa/Constraints.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/Constraints.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/Constraints.cpp.o.d"
+  "/root/repo/src/outofssa/LeungGeorge.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/LeungGeorge.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/LeungGeorge.cpp.o.d"
+  "/root/repo/src/outofssa/MoveStats.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/MoveStats.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/MoveStats.cpp.o.d"
+  "/root/repo/src/outofssa/NaiveABI.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/NaiveABI.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/NaiveABI.cpp.o.d"
+  "/root/repo/src/outofssa/OptimalCoalescing.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/OptimalCoalescing.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/OptimalCoalescing.cpp.o.d"
+  "/root/repo/src/outofssa/PhiCoalescing.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/PhiCoalescing.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/PhiCoalescing.cpp.o.d"
+  "/root/repo/src/outofssa/PinningContext.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/PinningContext.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/PinningContext.cpp.o.d"
+  "/root/repo/src/outofssa/Pipeline.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/Pipeline.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/outofssa/Sreedhar.cpp" "src/outofssa/CMakeFiles/lao_outofssa.dir/Sreedhar.cpp.o" "gcc" "src/outofssa/CMakeFiles/lao_outofssa.dir/Sreedhar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lao_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/lao_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

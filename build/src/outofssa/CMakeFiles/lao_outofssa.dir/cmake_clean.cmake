@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao_outofssa.dir/Coalescer.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/Coalescer.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/Constraints.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/Constraints.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/LeungGeorge.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/LeungGeorge.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/MoveStats.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/MoveStats.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/NaiveABI.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/NaiveABI.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/OptimalCoalescing.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/OptimalCoalescing.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/PhiCoalescing.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/PhiCoalescing.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/PinningContext.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/PinningContext.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/Pipeline.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/lao_outofssa.dir/Sreedhar.cpp.o"
+  "CMakeFiles/lao_outofssa.dir/Sreedhar.cpp.o.d"
+  "liblao_outofssa.a"
+  "liblao_outofssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao_outofssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao_regalloc.dir/RegAlloc.cpp.o"
+  "CMakeFiles/lao_regalloc.dir/RegAlloc.cpp.o.d"
+  "liblao_regalloc.a"
+  "liblao_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

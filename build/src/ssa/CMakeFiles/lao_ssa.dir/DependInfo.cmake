@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssa/IfConversion.cpp" "src/ssa/CMakeFiles/lao_ssa.dir/IfConversion.cpp.o" "gcc" "src/ssa/CMakeFiles/lao_ssa.dir/IfConversion.cpp.o.d"
+  "/root/repo/src/ssa/SSAConstruction.cpp" "src/ssa/CMakeFiles/lao_ssa.dir/SSAConstruction.cpp.o" "gcc" "src/ssa/CMakeFiles/lao_ssa.dir/SSAConstruction.cpp.o.d"
+  "/root/repo/src/ssa/SSAVerifier.cpp" "src/ssa/CMakeFiles/lao_ssa.dir/SSAVerifier.cpp.o" "gcc" "src/ssa/CMakeFiles/lao_ssa.dir/SSAVerifier.cpp.o.d"
+  "/root/repo/src/ssa/Transforms.cpp" "src/ssa/CMakeFiles/lao_ssa.dir/Transforms.cpp.o" "gcc" "src/ssa/CMakeFiles/lao_ssa.dir/Transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/lao_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao_ssa.dir/IfConversion.cpp.o"
+  "CMakeFiles/lao_ssa.dir/IfConversion.cpp.o.d"
+  "CMakeFiles/lao_ssa.dir/SSAConstruction.cpp.o"
+  "CMakeFiles/lao_ssa.dir/SSAConstruction.cpp.o.d"
+  "CMakeFiles/lao_ssa.dir/SSAVerifier.cpp.o"
+  "CMakeFiles/lao_ssa.dir/SSAVerifier.cpp.o.d"
+  "CMakeFiles/lao_ssa.dir/Transforms.cpp.o"
+  "CMakeFiles/lao_ssa.dir/Transforms.cpp.o.d"
+  "liblao_ssa.a"
+  "liblao_ssa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao_ssa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

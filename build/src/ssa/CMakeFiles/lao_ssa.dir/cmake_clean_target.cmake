@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblao_ssa.a"
+)

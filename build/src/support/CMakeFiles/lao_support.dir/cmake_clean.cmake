@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/lao_support.dir/StringUtils.cpp.o.d"
+  "liblao_support.a"
+  "liblao_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Generator.cpp" "src/workloads/CMakeFiles/lao_workloads.dir/Generator.cpp.o" "gcc" "src/workloads/CMakeFiles/lao_workloads.dir/Generator.cpp.o.d"
+  "/root/repo/src/workloads/PaperExamples.cpp" "src/workloads/CMakeFiles/lao_workloads.dir/PaperExamples.cpp.o" "gcc" "src/workloads/CMakeFiles/lao_workloads.dir/PaperExamples.cpp.o.d"
+  "/root/repo/src/workloads/Suites.cpp" "src/workloads/CMakeFiles/lao_workloads.dir/Suites.cpp.o" "gcc" "src/workloads/CMakeFiles/lao_workloads.dir/Suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssa/CMakeFiles/lao_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lao_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao_workloads.dir/Generator.cpp.o"
+  "CMakeFiles/lao_workloads.dir/Generator.cpp.o.d"
+  "CMakeFiles/lao_workloads.dir/PaperExamples.cpp.o"
+  "CMakeFiles/lao_workloads.dir/PaperExamples.cpp.o.d"
+  "CMakeFiles/lao_workloads.dir/Suites.cpp.o"
+  "CMakeFiles/lao_workloads.dir/Suites.cpp.o.d"
+  "liblao_workloads.a"
+  "liblao_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

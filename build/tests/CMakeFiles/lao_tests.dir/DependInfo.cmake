@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTests.cpp" "tests/CMakeFiles/lao_tests.dir/AnalysisTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/AnalysisTests.cpp.o.d"
+  "/root/repo/tests/CoalescerTests.cpp" "tests/CMakeFiles/lao_tests.dir/CoalescerTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/CoalescerTests.cpp.o.d"
+  "/root/repo/tests/ConstraintsTests.cpp" "tests/CMakeFiles/lao_tests.dir/ConstraintsTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/ConstraintsTests.cpp.o.d"
+  "/root/repo/tests/EquivalenceTests.cpp" "tests/CMakeFiles/lao_tests.dir/EquivalenceTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/EquivalenceTests.cpp.o.d"
+  "/root/repo/tests/IRTests.cpp" "tests/CMakeFiles/lao_tests.dir/IRTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/IRTests.cpp.o.d"
+  "/root/repo/tests/IfConversionTests.cpp" "tests/CMakeFiles/lao_tests.dir/IfConversionTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/IfConversionTests.cpp.o.d"
+  "/root/repo/tests/InterpreterTests.cpp" "tests/CMakeFiles/lao_tests.dir/InterpreterTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/InterpreterTests.cpp.o.d"
+  "/root/repo/tests/LeungGeorgeTests.cpp" "tests/CMakeFiles/lao_tests.dir/LeungGeorgeTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/LeungGeorgeTests.cpp.o.d"
+  "/root/repo/tests/OptimalCoalescingTests.cpp" "tests/CMakeFiles/lao_tests.dir/OptimalCoalescingTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/OptimalCoalescingTests.cpp.o.d"
+  "/root/repo/tests/ParallelCopyTests.cpp" "tests/CMakeFiles/lao_tests.dir/ParallelCopyTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/ParallelCopyTests.cpp.o.d"
+  "/root/repo/tests/PhiCoalescingTests.cpp" "tests/CMakeFiles/lao_tests.dir/PhiCoalescingTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/PhiCoalescingTests.cpp.o.d"
+  "/root/repo/tests/PinningTests.cpp" "tests/CMakeFiles/lao_tests.dir/PinningTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/PinningTests.cpp.o.d"
+  "/root/repo/tests/PipelineTests.cpp" "tests/CMakeFiles/lao_tests.dir/PipelineTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/PipelineTests.cpp.o.d"
+  "/root/repo/tests/PropertyTests.cpp" "tests/CMakeFiles/lao_tests.dir/PropertyTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/PropertyTests.cpp.o.d"
+  "/root/repo/tests/RegAllocTests.cpp" "tests/CMakeFiles/lao_tests.dir/RegAllocTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/RegAllocTests.cpp.o.d"
+  "/root/repo/tests/SSATests.cpp" "tests/CMakeFiles/lao_tests.dir/SSATests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/SSATests.cpp.o.d"
+  "/root/repo/tests/SreedharTests.cpp" "tests/CMakeFiles/lao_tests.dir/SreedharTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/SreedharTests.cpp.o.d"
+  "/root/repo/tests/StressTests.cpp" "tests/CMakeFiles/lao_tests.dir/StressTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/StressTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/lao_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/WorkloadTests.cpp" "tests/CMakeFiles/lao_tests.dir/WorkloadTests.cpp.o" "gcc" "tests/CMakeFiles/lao_tests.dir/WorkloadTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/outofssa/CMakeFiles/lao_outofssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/regalloc/CMakeFiles/lao_regalloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lao_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/lao_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssa/CMakeFiles/lao_ssa.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lao_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/lao_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lao_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

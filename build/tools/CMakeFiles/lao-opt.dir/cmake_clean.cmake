@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lao-opt.dir/lao-opt.cpp.o"
+  "CMakeFiles/lao-opt.dir/lao-opt.cpp.o.d"
+  "lao-opt"
+  "lao-opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lao-opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
