@@ -28,6 +28,8 @@ using namespace lao::bench;
 
 namespace {
 
+BenchReport Report;
+
 struct Ablation {
   const char *Name;
   PipelineConfig Config;
@@ -59,6 +61,10 @@ std::vector<Ablation> ablations() {
     A.Config.PhiOpts.UsePinAffinity = true;
     List.push_back(A);
   }
+  // Distinct config names: the ablations differ in options, not preset,
+  // and the BenchReport cache and JSON records key on the name.
+  for (Ablation &A : List)
+    A.Config.Name = A.Name;
   return List;
 }
 
@@ -73,7 +79,7 @@ void printAblationTable() {
     uint64_t Base = 0;
     bool First = true;
     for (const Ablation &A : ablations()) {
-      uint64_t Moves = runOnSuite(Suite, A.Config).Moves;
+      uint64_t Moves = Report.totals(Name, Suite, A.Config).Moves;
       if (First) {
         Base = Moves;
         std::printf("%20llu", static_cast<unsigned long long>(Moves));
@@ -110,7 +116,10 @@ void registerBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = extractJsonPath(argc, argv);
   printAblationTable();
+  if (!JsonPath.empty())
+    Report.writeJson(JsonPath, "ablation");
   registerBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -23,13 +23,17 @@ using namespace lao::bench;
 
 namespace {
 
+BenchReport Report;
+
 void printCompileTimeTable() {
   std::printf("\nCompile-time proxy: aggressive-coalescer workload\n");
   std::printf("%-14s %22s %22s\n", "benchmark", "pinned(merges/moves-in)",
               "naive(merges/moves-in)");
   for (const auto &[Name, Suite] : suites()) {
-    SuiteTotals Pinned = runOnSuite(Suite, pipelinePreset("Lphi,ABI+C"));
-    SuiteTotals Naive = runOnSuite(Suite, pipelinePreset("C,naiveABI+C"));
+    SuiteTotals Pinned =
+        Report.totals(Name, Suite, pipelinePreset("Lphi,ABI+C"));
+    SuiteTotals Naive =
+        Report.totals(Name, Suite, pipelinePreset("C,naiveABI+C"));
     std::printf("%-14s %11llu /%9llu %11llu /%9llu\n", Name.c_str(),
                 static_cast<unsigned long long>(Pinned.CoalescerMerges),
                 static_cast<unsigned long long>(Pinned.MovesBeforeCoalesce),
@@ -68,7 +72,10 @@ void registerBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = extractJsonPath(argc, argv);
   printCompileTimeTable();
+  if (!JsonPath.empty())
+    Report.writeJson(JsonPath, "compiletime");
   registerBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -34,13 +34,25 @@ struct PressureTotals {
 
 PressureTotals allocateSuite(const std::vector<Workload> &Suite,
                              const char *Preset, unsigned NumRegs) {
-  PressureTotals T;
-  for (const Workload &W : Suite) {
-    auto F = cloneFunction(*W.F);
+  // Same deterministic shape as runOnSuite: allocate each function
+  // independently (in parallel when the machine allows), reduce in suite
+  // order.
+  std::vector<RegAllocResult> Results(Suite.size());
+  auto AllocOne = [&](size_t I) {
+    auto F = cloneFunction(*Suite[I].F);
     runPipeline(*F, pipelinePreset(Preset));
     RegAllocOptions Opts;
     Opts.NumRegs = NumRegs;
-    RegAllocResult R = allocateRegisters(*F, Opts);
+    Results[I] = allocateRegisters(*F, Opts);
+  };
+  if (sharedPool().numThreads() > 1)
+    sharedPool().parallelFor(Suite.size(), AllocOne);
+  else
+    for (size_t I = 0; I < Suite.size(); ++I)
+      AllocOne(I);
+
+  PressureTotals T;
+  for (const RegAllocResult &R : Results) {
     if (!R.Ok) {
       ++T.Failures;
       continue;
@@ -50,6 +62,16 @@ PressureTotals allocateSuite(const std::vector<Workload> &Suite,
   }
   return T;
 }
+
+/// JSON records for --json: one per (num_regs, suite, config) cell of the
+/// printed tables, same numbers (recorded while printing).
+struct PressureRecord {
+  std::string Suite;
+  std::string Config;
+  unsigned NumRegs;
+  PressureTotals Totals;
+};
+std::vector<PressureRecord> Records;
 
 void printPressureTables() {
   for (unsigned NumRegs : {6u, 8u, 12u}) {
@@ -62,6 +84,7 @@ void printPressureTables() {
       std::printf("%-14s", Name.c_str());
       for (const char *Preset : {"Lphi,ABI+C", "LABI+C", "C,naiveABI+C"}) {
         PressureTotals T = allocateSuite(Suite, Preset, NumRegs);
+        Records.push_back({Name, Preset, NumRegs, T});
         std::string Cell =
             std::to_string(T.Spills) + " (" +
             std::to_string(T.SpillAccesses) + ")";
@@ -73,6 +96,32 @@ void printPressureTables() {
     }
   }
   std::fflush(stdout);
+}
+
+void writePressureJson(const std::string &Path) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("bench").value("regpressure");
+  W.key("records").beginArray();
+  for (const PressureRecord &R : Records) {
+    W.beginObject();
+    W.key("suite").value(R.Suite);
+    W.key("config").value(R.Config);
+    W.key("num_regs").value(R.NumRegs);
+    W.key("spills").value(R.Totals.Spills);
+    W.key("spill_accesses").value(R.Totals.SpillAccesses);
+    W.key("failures").value(R.Totals.Failures);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(Out, "%s\n", W.str().c_str());
+  std::fclose(Out);
 }
 
 void registerBenchmarks() {
@@ -97,7 +146,10 @@ void registerBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = extractJsonPath(argc, argv);
   printPressureTables();
+  if (!JsonPath.empty())
+    writePressureJson(JsonPath);
   registerBenchmarks();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -21,8 +21,11 @@ using namespace lao::bench;
 
 namespace {
 
-uint64_t movesOf(const std::vector<Workload> &Suite, const char *Preset) {
-  return runOnSuite(Suite, pipelinePreset(Preset)).Moves;
+BenchReport Report;
+
+uint64_t movesOf(const std::string &Name, const std::vector<Workload> &Suite,
+                 const char *Preset) {
+  return Report.totals(Name, Suite, pipelinePreset(Preset)).Moves;
 }
 
 void BM_Table2Config(benchmark::State &State, const std::string &SuiteName,
@@ -52,13 +55,18 @@ void registerBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = extractJsonPath(argc, argv);
   printDeltaTable(
       "Table 2: move instruction count with no ABI constraint",
-      {{"Lphi+C", [](const auto &S) { return movesOf(S, "Lphi+C"); }},
-       {"C", [](const auto &S) { return movesOf(S, "C"); }},
-       {"Sphi+C", [](const auto &S) { return movesOf(S, "Sphi+C"); }}},
+      {{"Lphi+C",
+        [](const auto &N, const auto &S) { return movesOf(N, S, "Lphi+C"); }},
+       {"C", [](const auto &N, const auto &S) { return movesOf(N, S, "C"); }},
+       {"Sphi+C",
+        [](const auto &N, const auto &S) { return movesOf(N, S, "Sphi+C"); }}},
       "(Sphi+C is an optimistic approximation, as in the paper: the\n"
       " Sreedhar conversion is not dedicated-register safe.)");
+  if (!JsonPath.empty())
+    Report.writeJson(JsonPath, "table2");
 
   registerBenchmarks();
   benchmark::Initialize(&argc, argv);

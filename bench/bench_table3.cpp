@@ -22,8 +22,11 @@ using namespace lao::bench;
 
 namespace {
 
-uint64_t movesOf(const std::vector<Workload> &Suite, const char *Preset) {
-  return runOnSuite(Suite, pipelinePreset(Preset)).Moves;
+BenchReport Report;
+
+uint64_t movesOf(const std::string &Name, const std::vector<Workload> &Suite,
+                 const char *Preset) {
+  return Report.totals(Name, Suite, pipelinePreset(Preset)).Moves;
 }
 
 void registerBenchmarks() {
@@ -49,14 +52,24 @@ void registerBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = extractJsonPath(argc, argv);
   printDeltaTable(
       "Table 3: move instruction count with renaming constraints",
       {{"Lphi,ABI+C",
-        [](const auto &S) { return movesOf(S, "Lphi,ABI+C"); }},
+        [](const auto &N, const auto &S) {
+          return movesOf(N, S, "Lphi,ABI+C");
+        }},
        {"Sphi+LABI+C",
-        [](const auto &S) { return movesOf(S, "Sphi+LABI+C"); }},
-       {"LABI+C", [](const auto &S) { return movesOf(S, "LABI+C"); }},
-       {"C", [](const auto &S) { return movesOf(S, "C,naiveABI+C"); }}});
+        [](const auto &N, const auto &S) {
+          return movesOf(N, S, "Sphi+LABI+C");
+        }},
+       {"LABI+C",
+        [](const auto &N, const auto &S) { return movesOf(N, S, "LABI+C"); }},
+       {"C", [](const auto &N, const auto &S) {
+          return movesOf(N, S, "C,naiveABI+C");
+        }}});
+  if (!JsonPath.empty())
+    Report.writeJson(JsonPath, "table3");
 
   registerBenchmarks();
   benchmark::Initialize(&argc, argv);

@@ -23,8 +23,11 @@ using namespace lao::bench;
 
 namespace {
 
-uint64_t movesOf(const std::vector<Workload> &Suite, const char *Preset) {
-  return runOnSuite(Suite, pipelinePreset(Preset)).Moves;
+BenchReport Report;
+
+uint64_t movesOf(const std::string &Name, const std::vector<Workload> &Suite,
+                 const char *Preset) {
+  return Report.totals(Name, Suite, pipelinePreset(Preset)).Moves;
 }
 
 void registerBenchmarks() {
@@ -49,13 +52,19 @@ void registerBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = extractJsonPath(argc, argv);
   printDeltaTable(
       "Table 4: moves left for a post coalescer under naive lowering",
-      {{"Lphi,ABI", [](const auto &S) { return movesOf(S, "Lphi,ABI"); }},
-       {"Sphi(ABI mov)", [](const auto &S) { return movesOf(S, "Sphi"); }},
-       {"LABI(phi mov)", [](const auto &S) { return movesOf(S, "LABI"); }}},
+      {{"Lphi,ABI",
+        [](const auto &N, const auto &S) { return movesOf(N, S, "Lphi,ABI"); }},
+       {"Sphi(ABI mov)",
+        [](const auto &N, const auto &S) { return movesOf(N, S, "Sphi"); }},
+       {"LABI(phi mov)",
+        [](const auto &N, const auto &S) { return movesOf(N, S, "LABI"); }}},
       "(columns 2 and 3 are deltas: the extra ABI moves left by Sphi and\n"
       " the extra phi moves left by LABI, as in the paper's Table 4)");
+  if (!JsonPath.empty())
+    Report.writeJson(JsonPath, "table4");
 
   registerBenchmarks();
   benchmark::Initialize(&argc, argv);

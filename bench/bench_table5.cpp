@@ -23,6 +23,8 @@ using namespace lao::bench;
 
 namespace {
 
+BenchReport Report;
+
 PipelineConfig variantConfig(const std::string &Variant) {
   PipelineConfig C = pipelinePreset("Lphi,ABI");
   C.Name = "Lphi,ABI(" + Variant + ")";
@@ -35,9 +37,10 @@ PipelineConfig variantConfig(const std::string &Variant) {
   return C;
 }
 
-uint64_t weightedOf(const std::vector<Workload> &Suite,
+uint64_t weightedOf(const std::string &Name,
+                    const std::vector<Workload> &Suite,
                     const std::string &Variant) {
-  return runOnSuite(Suite, variantConfig(Variant)).WeightedMoves;
+  return Report.totals(Name, Suite, variantConfig(Variant)).WeightedMoves;
 }
 
 void registerBenchmarks() {
@@ -62,12 +65,20 @@ void registerBenchmarks() {
 } // namespace
 
 int main(int argc, char **argv) {
+  std::string JsonPath = extractJsonPath(argc, argv);
   printDeltaTable(
       "Table 5: 5^depth-weighted move count, variants of the algorithm",
-      {{"base", [](const auto &S) { return weightedOf(S, "base"); }},
-       {"depth", [](const auto &S) { return weightedOf(S, "depth"); }},
-       {"opt", [](const auto &S) { return weightedOf(S, "opt"); }},
-       {"pess", [](const auto &S) { return weightedOf(S, "pess"); }}});
+      {{"base",
+        [](const auto &N, const auto &S) { return weightedOf(N, S, "base"); }},
+       {"depth",
+        [](const auto &N, const auto &S) { return weightedOf(N, S, "depth"); }},
+       {"opt",
+        [](const auto &N, const auto &S) { return weightedOf(N, S, "opt"); }},
+       {"pess", [](const auto &N, const auto &S) {
+          return weightedOf(N, S, "pess");
+        }}});
+  if (!JsonPath.empty())
+    Report.writeJson(JsonPath, "table5");
 
   registerBenchmarks();
   benchmark::Initialize(&argc, argv);

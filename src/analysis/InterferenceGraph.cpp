@@ -6,11 +6,14 @@
 
 #include "analysis/InterferenceGraph.h"
 
+#include "support/Stats.h"
+
 #include <cassert>
 
 using namespace lao;
 
 InterferenceGraph::InterferenceGraph(const Function &F, const Liveness &LV) {
+  ++LAO_STAT(interference, graphs_built);
   Adj.resize(F.numValues());
 
   for (const auto &BB : F.blocks()) {

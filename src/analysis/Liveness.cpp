@@ -6,6 +6,8 @@
 
 #include "analysis/Liveness.h"
 
+#include "support/Stats.h"
+
 using namespace lao;
 
 Liveness::Liveness(const CFG &Cfg) : Cfg(Cfg) {
@@ -57,10 +59,12 @@ Liveness::Liveness(const CFG &Cfg) : Cfg(Cfg) {
   }
 
   // Iterate to fixpoint in post-order (reverse RPO) for fast convergence.
+  ++LAO_STAT(liveness, analyses);
   const auto &Rpo = Cfg.rpo();
   bool Changed = true;
   while (Changed) {
     Changed = false;
+    ++LAO_STAT(liveness, fixpoint_iterations);
     for (auto It = Rpo.rbegin(); It != Rpo.rend(); ++It) {
       BasicBlock *BB = *It;
       BitVector Out = PhiOut[BB->id()];

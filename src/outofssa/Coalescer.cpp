@@ -9,20 +9,19 @@
 #include "analysis/InterferenceGraph.h"
 #include "analysis/Liveness.h"
 #include "ir/CFG.h"
+#include "support/Stats.h"
 
 #include <cassert>
 #include <vector>
 
 using namespace lao;
 
-CoalescerStats lao::coalesceAggressively(Function &F) {
+CoalescerStats lao::coalesceAggressively(Function &F,
+                                         const CoalescerOptions &Opts) {
   CoalescerStats Stats;
 
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    ++Stats.NumRounds;
-
+  for (;;) {
+    ++Stats.NumRebuilds;
     CFG Cfg(F);
     Liveness LV(Cfg);
     InterferenceGraph IG(F, LV);
@@ -35,30 +34,42 @@ CoalescerStats lao::coalesceAggressively(Function &F) {
       return V;
     };
 
-    bool AnyCoalesced = false;
-    for (const auto &BB : F.blocks()) {
-      for (Instruction &I : BB->instructions()) {
-        if (!I.isCopy())
-          continue;
-        RegId D = Resolve(I.def(0));
-        RegId S = Resolve(I.use(0));
-        if (D == S)
-          continue; // Already an identity; removed below.
-        if (F.isPhysical(D) && F.isPhysical(S))
-          continue; // Cannot merge two machine registers.
-        if (IG.interfere(D, S))
-          continue;
-        RegId Survivor = F.isPhysical(S) ? S : D;
-        RegId Victim = Survivor == D ? S : D;
-        IG.mergeInto(Survivor, Victim);
-        RenameTo[Victim] = Survivor;
-        ++Stats.NumMerges;
-        AnyCoalesced = true;
+    // Sweep the copy list to a fixpoint on this graph. After a merge the
+    // incrementally-maintained graph is conservative (neighborhoods are
+    // unioned), so every merge it allows is safe; copies it pessimistically
+    // blocks are retried after the next exact rebuild.
+    bool MergedOnThisGraph = false;
+    bool SweepMerged = true;
+    while (SweepMerged) {
+      SweepMerged = false;
+      ++Stats.NumRounds;
+      for (const auto &BB : F.blocks()) {
+        for (Instruction &I : BB->instructions()) {
+          if (!I.isCopy())
+            continue;
+          RegId D = Resolve(I.def(0));
+          RegId S = Resolve(I.use(0));
+          if (D == S)
+            continue; // Already an identity; removed below.
+          if (F.isPhysical(D) && F.isPhysical(S))
+            continue; // Cannot merge two machine registers.
+          if (IG.interfere(D, S))
+            continue;
+          RegId Survivor = F.isPhysical(S) ? S : D;
+          RegId Victim = Survivor == D ? S : D;
+          IG.mergeInto(Survivor, Victim);
+          RenameTo[Victim] = Survivor;
+          ++Stats.NumMerges;
+          SweepMerged = true;
+        }
       }
+      MergedOnThisGraph |= SweepMerged;
+      if (Opts.RebuildEveryRound)
+        break;
     }
 
-    if (!AnyCoalesced)
-      break;
+    if (!MergedOnThisGraph)
+      break; // Exact graph, nothing mergeable: global fixpoint.
 
     // Apply the renames and drop the moves that became identities.
     for (const auto &BB : F.blocks()) {
@@ -71,12 +82,19 @@ CoalescerStats lao::coalesceAggressively(Function &F) {
         if (It->isCopy() && It->def(0) == It->use(0)) {
           It = Insts.erase(It);
           ++Stats.NumMovesRemoved;
-          Changed = true;
         } else {
           ++It;
         }
       }
     }
+    // Deleted moves shrink liveness, so an exact rebuild may expose more
+    // merges; loop until a fresh graph yields none.
   }
+
+  LAO_STAT(coalesce, runs) += 1;
+  LAO_STAT(coalesce, rounds) += Stats.NumRounds;
+  LAO_STAT(coalesce, rebuilds) += Stats.NumRebuilds;
+  LAO_STAT(coalesce, merges) += Stats.NumMerges;
+  LAO_STAT(coalesce, moves_removed) += Stats.NumMovesRemoved;
   return Stats;
 }

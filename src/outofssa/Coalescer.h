@@ -7,11 +7,19 @@
 /// \file
 /// The paper's [Coalescing] baseline: a Chaitin-style aggressive
 /// "repeated" register coalescer run on non-SSA code, outside any
-/// register-allocation context (so it ignores colorability). It
-/// repeatedly builds liveness and the interference graph, removes every
-/// move whose operands do not interfere by merging them (the interference
-/// graph is updated incrementally within a round, rebuilt between
-/// rounds), and stops at a fixpoint.
+/// register-allocation context (so it ignores colorability). It removes
+/// every move whose operands do not interfere by merging them, and stops
+/// at a fixpoint: no copy is mergeable under an exactly rebuilt
+/// interference graph.
+///
+/// mergeInto maintains the interference graph incrementally (a vertex
+/// merge unions the neighborhoods — conservative but safe), so the
+/// coalescer sweeps the copy list to a local fixpoint on one graph and
+/// only then pays for a CFG + liveness + interference rebuild, which is
+/// needed for exactness once moves have been deleted (liveness shrinks).
+/// The pre-optimization behavior — one sweep per rebuild — survives as
+/// CoalescerOptions::RebuildEveryRound for A/B testing; both reach the
+/// same fixpoint condition.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,17 +30,29 @@
 
 namespace lao {
 
+struct CoalescerOptions {
+  /// Reference mode: rebuild the analyses after every merge sweep (the
+  /// original, quadratic-ish schedule). Kept for the equivalence tests
+  /// that pin the optimized schedule to identical results.
+  bool RebuildEveryRound = false;
+};
+
 struct CoalescerStats {
   unsigned NumMovesRemoved = 0;
+  /// Merge sweeps over the function's copy list.
   unsigned NumRounds = 0;
   /// Total interference-graph node merges (proportional to the cost the
   /// paper's compile-time discussion attributes to this phase).
   unsigned NumMerges = 0;
+  /// Full CFG/liveness/interference reconstructions — the expensive part
+  /// the optimized schedule amortizes over many sweeps.
+  unsigned NumRebuilds = 0;
 };
 
 /// Runs aggressive repeated coalescing on non-SSA \p F (no phis; parallel
 /// copies must have been sequentialized).
-CoalescerStats coalesceAggressively(Function &F);
+CoalescerStats coalesceAggressively(Function &F,
+                                    const CoalescerOptions &Opts = {});
 
 } // namespace lao
 

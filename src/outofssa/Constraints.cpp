@@ -6,6 +6,8 @@
 
 #include "outofssa/Constraints.h"
 
+#include "support/Stats.h"
+
 using namespace lao;
 
 unsigned lao::collectSPConstraints(Function &F) {
@@ -23,6 +25,7 @@ unsigned lao::collectSPConstraints(Function &F) {
         ++NumPinned;
       }
     }
+  LAO_STAT(constraints, sp_pins) += NumPinned;
   return NumPinned;
 }
 
@@ -74,5 +77,6 @@ unsigned lao::collectABIConstraints(Function &F) {
         break;
       }
     }
+  LAO_STAT(constraints, abi_pins) += NumPinned;
   return NumPinned;
 }

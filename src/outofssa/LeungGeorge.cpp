@@ -6,6 +6,8 @@
 
 #include "outofssa/LeungGeorge.h"
 
+#include "support/Stats.h"
+
 #include <cassert>
 #include <map>
 #include <set>
@@ -339,7 +341,14 @@ private:
 OutOfSSAStats lao::translateOutOfSSA(Function &F, PinningContext &Ctx,
                                      const CFG &Cfg) {
   Translator T(F, Ctx, Cfg);
-  return T.run();
+  OutOfSSAStats Stats = T.run();
+  LAO_STAT(translate, runs) += 1;
+  LAO_STAT(translate, repairs) += Stats.NumRepairs;
+  LAO_STAT(translate, phi_copies) += Stats.NumPhiCopies;
+  LAO_STAT(translate, pin_copies) += Stats.NumPinCopies;
+  LAO_STAT(translate, elided_copies) += Stats.NumElidedCopies;
+  LAO_STAT(translate, phis_removed) += Stats.NumPhisRemoved;
+  return Stats;
 }
 
 unsigned lao::sequentializeParallelCopies(Function &F) {
@@ -396,5 +405,6 @@ unsigned lao::sequentializeParallelCopies(Function &F) {
       It = Insts.erase(It);
     }
   }
+  LAO_STAT(sequentialize, moves_emitted) += NumMoves;
   return NumMoves;
 }

@@ -6,6 +6,8 @@
 
 #include "outofssa/NaiveABI.h"
 
+#include "support/Stats.h"
+
 #include <cassert>
 
 using namespace lao;
@@ -102,5 +104,6 @@ unsigned lao::lowerABINaively(Function &F) {
       }
     }
   }
+  LAO_STAT(naiveabi, moves_inserted) += NumMoves;
   return NumMoves;
 }

@@ -6,6 +6,8 @@
 
 #include "outofssa/PhiCoalescing.h"
 
+#include "support/Stats.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <map>
@@ -331,5 +333,12 @@ PhiCoalescingStats lao::coalescePhis(Function &F, PinningContext &Ctx,
         if (Ctx.resourceOf(I.use(K)) == DefRes)
           ++Stats.TotalGain;
     }
+  LAO_STAT(phicoalesce, runs) += 1;
+  LAO_STAT(phicoalesce, affinity_edges) += Stats.NumAffinityEdges;
+  LAO_STAT(phicoalesce, initial_pruned) += Stats.NumInitialPruned;
+  LAO_STAT(phicoalesce, weight_pruned) += Stats.NumWeightPruned;
+  LAO_STAT(phicoalesce, merges) += Stats.NumMerges;
+  LAO_STAT(phicoalesce, safety_skips) += Stats.NumSafetySkips;
+  LAO_STAT(phicoalesce, gain) += Stats.TotalGain;
   return Stats;
 }

@@ -11,13 +11,15 @@
 #include "outofssa/Constraints.h"
 #include "outofssa/MoveStats.h"
 #include "outofssa/NaiveABI.h"
+#include "support/Stats.h"
 
-#include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace lao;
 
-PipelineConfig lao::pipelinePreset(const std::string &Name) {
+std::optional<PipelineConfig> lao::pipelinePresetOpt(const std::string &Name) {
   PipelineConfig C;
   C.Name = Name;
   if (Name == "Lphi+C") {
@@ -41,41 +43,72 @@ PipelineConfig lao::pipelinePreset(const std::string &Name) {
   } else if (Name == "LABI") {
     C.PinABI = true;
   } else {
-    assert(false && "unknown pipeline preset");
+    return std::nullopt;
   }
   return C;
+}
+
+PipelineConfig lao::pipelinePreset(const std::string &Name) {
+  if (std::optional<PipelineConfig> C = pipelinePresetOpt(Name))
+    return *C;
+  // Unconditionally fatal: an assert here compiles out of NDEBUG builds
+  // and a silently-default config corrupts every downstream measurement.
+  std::fprintf(stderr,
+               "lao: fatal: unknown pipeline preset '%s' "
+               "(see outofssa/Pipeline.h for the Table 1 names)\n",
+               Name.c_str());
+  std::abort();
 }
 
 PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
   using Clock = std::chrono::steady_clock;
   PipelineResult R;
   auto Start = Clock::now();
+  ++LAO_STAT(pipeline, runs);
 
-  splitCriticalEdges(F);
+  {
+    ScopedTimer T(R.Timings, "split-critical-edges");
+    splitCriticalEdges(F);
+  }
 
-  if (Config.PinSP)
-    collectSPConstraints(F);
-  if (Config.PinABI)
-    collectABIConstraints(F);
+  if (Config.PinSP || Config.PinABI) {
+    ScopedTimer T(R.Timings, "constraints");
+    if (Config.PinSP)
+      collectSPConstraints(F);
+    if (Config.PinABI)
+      collectABIConstraints(F);
+  }
   if (Config.Sreedhar) {
+    ScopedTimer T(R.Timings, "sreedhar");
     R.SreedharInfo = convertToCSSA(F);
     pinCSSAWebs(F);
   }
 
   {
+    std::optional<ScopedTimer> Analysis(std::in_place, R.Timings,
+                                        "pin-analysis");
     CFG Cfg(F);
     DominatorTree DT(Cfg);
     Liveness LV(Cfg);
     PinningContext Ctx(F, Cfg, DT, LV, Config.Mode);
+    Analysis.reset();
     if (Config.PinPhi) {
+      ScopedTimer T(R.Timings, "phi-coalescing");
       LoopInfo LI(Cfg, DT);
       R.Phi = coalescePhis(F, Ctx, Cfg, LI, Config.PhiOpts);
     }
-    R.Translate = translateOutOfSSA(F, Ctx, Cfg);
+    {
+      ScopedTimer T(R.Timings, "translate");
+      R.Translate = translateOutOfSSA(F, Ctx, Cfg);
+    }
   }
-  sequentializeParallelCopies(F);
+  {
+    ScopedTimer T(R.Timings, "sequentialize");
+    sequentializeParallelCopies(F);
+  }
 
   if (Config.NaiveABI) {
+    ScopedTimer T(R.Timings, "naive-abi");
     lowerABINaively(F);
     sequentializeParallelCopies(F);
   }
@@ -83,11 +116,10 @@ PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
   R.MovesBeforeCoalesce = countMoves(F);
 
   if (Config.Coalesce) {
-    auto CoalStart = Clock::now();
+    ScopedTimer T(R.Timings, "coalesce");
     R.Coalescer = coalesceAggressively(F);
-    R.CoalesceSeconds =
-        std::chrono::duration<double>(Clock::now() - CoalStart).count();
   }
+  R.CoalesceSeconds = R.Timings.seconds("coalesce");
 
   R.NumMoves = countMoves(F);
   R.WeightedMoves = weightedMoveCount(F);

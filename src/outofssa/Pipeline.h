@@ -35,7 +35,9 @@
 #include "outofssa/LeungGeorge.h"
 #include "outofssa/PhiCoalescing.h"
 #include "outofssa/Sreedhar.h"
+#include "support/Timer.h"
 
+#include <optional>
 #include <string>
 
 namespace lao {
@@ -53,16 +55,29 @@ struct PipelineConfig {
   PhiCoalescingOptions PhiOpts;
 };
 
-/// Returns the preset for \p Name (see header table). Asserts on unknown
-/// names.
+/// Returns the preset for \p Name (see header table), or std::nullopt
+/// for an unknown name. Use this from anything that parses user input.
+std::optional<PipelineConfig> pipelinePresetOpt(const std::string &Name);
+
+/// Returns the preset for \p Name (see header table). Unknown names are
+/// a fatal error in every build type (message to stderr, then abort) —
+/// callers pass compile-time constants; user-facing code wanting a
+/// recoverable failure goes through pipelinePresetOpt.
 PipelineConfig pipelinePreset(const std::string &Name);
 
+/// Phase names runPipeline reports in PipelineResult::Timings, in
+/// execution order (phases a configuration skips are absent).
+///
+///   split-critical-edges, constraints, sreedhar, pin-analysis,
+///   phi-coalescing, translate, sequentialize, naive-abi, coalesce
+///
 /// Outcome of one pipeline run over one function.
 struct PipelineResult {
   unsigned NumMoves = 0;        ///< Residual moves (Tables 2-4 metric).
   uint64_t WeightedMoves = 0;   ///< 5^depth-weighted (Table 5 metric).
   double Seconds = 0.0;         ///< Wall time of the whole pipeline.
   double CoalesceSeconds = 0.0; ///< Wall time of aggressive coalescing.
+  TimerGroup Timings;           ///< Per-phase wall time (see above).
   OutOfSSAStats Translate;
   PhiCoalescingStats Phi;
   CoalescerStats Coalescer;

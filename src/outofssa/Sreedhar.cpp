@@ -9,6 +9,7 @@
 #include "analysis/Dominators.h"
 #include "analysis/Liveness.h"
 #include "ir/CFG.h"
+#include "support/Stats.h"
 #include "support/UnionFind.h"
 
 #include <algorithm>
@@ -308,6 +309,10 @@ SreedharStats lao::convertToCSSA(Function &F) {
     if (Stats.NumCopiesInserted == 0 || findCSSAViolations(F).empty())
       break;
   }
+  LAO_STAT(sreedhar, runs) += 1;
+  LAO_STAT(sreedhar, copies_inserted) += Total.NumCopiesInserted;
+  LAO_STAT(sreedhar, phis_processed) += Total.NumPhisProcessed;
+  LAO_STAT(sreedhar, unresolved_pairs) += Total.NumUnresolvedPairs;
   return Total;
 }
 

@@ -1,0 +1,61 @@
+//===- Stats.cpp - Process-wide pass statistics registry ---------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <vector>
+
+using namespace lao;
+
+StatCounter::StatCounter(const char *Pass, const char *Name)
+    : Pass(Pass), Name(Name) {
+  StatsRegistry::instance().add(this);
+}
+
+StatsRegistry &StatsRegistry::instance() {
+  static StatsRegistry Registry;
+  return Registry;
+}
+
+void StatsRegistry::add(StatCounter *C) {
+  C->Next = Head.load(std::memory_order_relaxed);
+  while (!Head.compare_exchange_weak(C->Next, C, std::memory_order_release,
+                                     std::memory_order_relaxed))
+    ;
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  StatsSnapshot Snap;
+  for (const StatCounter *C = Head.load(std::memory_order_acquire); C;
+       C = C->Next)
+    Snap[std::string(C->pass()) + "." + C->name()] += C->value();
+  return Snap;
+}
+
+StatsSnapshot StatsRegistry::delta(const StatsSnapshot &Before,
+                                   const StatsSnapshot &After) {
+  StatsSnapshot D;
+  for (const auto &[Key, V] : After) {
+    auto It = Before.find(Key);
+    uint64_t Base = It == Before.end() ? 0 : It->second;
+    if (V != Base)
+      D[Key] = V - Base;
+  }
+  return D;
+}
+
+void StatsRegistry::print(std::FILE *Out) const {
+  StatsSnapshot Snap = snapshot();
+  size_t Widest = 0;
+  for (const auto &[Key, V] : Snap)
+    if (V)
+      Widest = std::max(Widest, Key.size());
+  std::fprintf(Out, "=== lao statistics ===\n");
+  for (const auto &[Key, V] : Snap)
+    if (V)
+      std::fprintf(Out, "%12llu  %-*s\n", static_cast<unsigned long long>(V),
+                   static_cast<int>(Widest), Key.c_str());
+}

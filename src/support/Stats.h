@@ -1,0 +1,104 @@
+//===- Stats.h - Process-wide pass statistics registry ----------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide registry of named counters, in the spirit of LLVM's
+/// `-stats` machinery. A pass bumps a counter through the LAO_STAT macro:
+///
+///   LAO_STAT(coalesce, merges) += Stats.NumMerges;
+///   ++LAO_STAT(liveness, analyses);
+///
+/// The macro expands to a function-local static StatCounter that
+/// registers itself with the StatsRegistry singleton on first use, so a
+/// counter costs one relaxed atomic add per bump and nothing when never
+/// reached. Counters are monotonically increasing over the process
+/// lifetime; consumers that want per-run numbers (the bench binaries'
+/// `--json` mode, `lao-opt --timing-json`) take a snapshot before and
+/// after the run and report the delta.
+///
+/// Counters are thread-safe: the bench suite runner executes pipelines
+/// from a ThreadPool and the per-run deltas stay exact because integer
+/// atomic adds commute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SUPPORT_STATS_H
+#define LAO_SUPPORT_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace lao {
+
+class StatsRegistry;
+
+/// One named statistic. Construct only through LAO_STAT (or as a static
+/// with process lifetime): the registry keeps a pointer to it forever.
+class StatCounter {
+public:
+  StatCounter(const char *Pass, const char *Name);
+
+  StatCounter &operator+=(uint64_t Delta) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter &operator++() { return *this += 1; }
+
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  const char *pass() const { return Pass; }
+  const char *name() const { return Name; }
+
+private:
+  friend class StatsRegistry;
+  const char *Pass;
+  const char *Name;
+  std::atomic<uint64_t> Value{0};
+  StatCounter *Next = nullptr; ///< Intrusive registry list.
+};
+
+/// Point-in-time counter values, keyed "pass.name". std::map gives a
+/// deterministic (sorted) iteration order, which the JSON emitters rely
+/// on for schema-stable output.
+using StatsSnapshot = std::map<std::string, uint64_t>;
+
+/// The process-wide counter list. Registration is lock-free (counters
+/// are only ever added, never removed).
+class StatsRegistry {
+public:
+  static StatsRegistry &instance();
+
+  /// Current value of every registered counter.
+  StatsSnapshot snapshot() const;
+
+  /// Counter-wise After - Before, dropping entries that did not move.
+  /// Counters born after Before was taken count from zero.
+  static StatsSnapshot delta(const StatsSnapshot &Before,
+                             const StatsSnapshot &After);
+
+  /// Prints all non-zero counters, LLVM `-stats` style, aligned.
+  void print(std::FILE *Out) const;
+
+private:
+  friend class StatCounter;
+  void add(StatCounter *C);
+
+  std::atomic<StatCounter *> Head{nullptr};
+};
+
+} // namespace lao
+
+/// Returns a reference to the static counter for (PASS, NAME),
+/// registering it on first execution.
+#define LAO_STAT(PASS, NAME)                                                   \
+  ([]() -> ::lao::StatCounter & {                                              \
+    static ::lao::StatCounter LaoStatCounter(#PASS, #NAME);                    \
+    return LaoStatCounter;                                                     \
+  }())
+
+#endif // LAO_SUPPORT_STATS_H

@@ -1,0 +1,139 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with a FIFO task queue, plus the
+/// parallelFor shape the bench suite runner needs: N independent items,
+/// work-stealing via an atomic index, caller blocks until every item is
+/// done. Determinism note: parallelFor only parallelizes the *execution*
+/// of items — any reduction over their results must happen afterwards in
+/// index order (see bench/BenchUtil.h's runOnSuite), which makes the
+/// parallel path's output bit-identical to the serial one.
+///
+/// A pool of one thread is legal and degrades to serial execution; the
+/// pool never spawns more workers than requested even when parallelFor
+/// is called with more items.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SUPPORT_THREADPOOL_H
+#define LAO_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lao {
+
+class ThreadPool {
+public:
+  /// Worker count for "use the machine": hardware concurrency, at least 1.
+  static unsigned defaultConcurrency() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N ? N : 1;
+  }
+
+  explicit ThreadPool(unsigned NumThreads = defaultConcurrency()) {
+    if (NumThreads == 0)
+      NumThreads = 1;
+    Workers.reserve(NumThreads);
+    for (unsigned K = 0; K < NumThreads; ++K)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> G(M);
+      Stop = true;
+    }
+    WakeWorker.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task for execution on some worker.
+  void async(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> G(M);
+      Queue.push_back(std::move(Task));
+    }
+    WakeWorker.notify_one();
+  }
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait() {
+    std::unique_lock<std::mutex> L(M);
+    Idle.wait(L, [this] { return Queue.empty() && Running == 0; });
+  }
+
+  /// Runs Fn(0) .. Fn(N-1), each exactly once, on the pool's workers;
+  /// returns when all are done. Items are claimed in ascending order but
+  /// may complete in any order — reduce results by index afterwards.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+    if (N == 0)
+      return;
+    std::atomic<size_t> Next{0};
+    size_t Lanes = std::min<size_t>(numThreads(), N);
+    std::atomic<size_t> Remaining{Lanes};
+    std::mutex DoneM;
+    std::condition_variable Done;
+    for (size_t K = 0; K < Lanes; ++K)
+      async([&] {
+        for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) < N;)
+          Fn(I);
+        if (Remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> G(DoneM);
+          Done.notify_all();
+        }
+      });
+    std::unique_lock<std::mutex> L(DoneM);
+    Done.wait(L, [&] { return Remaining.load() == 0; });
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> L(M);
+        WakeWorker.wait(L, [this] { return Stop || !Queue.empty(); });
+        if (Stop && Queue.empty())
+          return;
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+        ++Running;
+      }
+      Task();
+      {
+        std::lock_guard<std::mutex> G(M);
+        --Running;
+        if (Queue.empty() && Running == 0)
+          Idle.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex M;
+  std::condition_variable WakeWorker;
+  std::condition_variable Idle;
+  unsigned Running = 0;
+  bool Stop = false;
+};
+
+} // namespace lao
+
+#endif // LAO_SUPPORT_THREADPOOL_H

@@ -1,0 +1,102 @@
+//===- Timer.h - RAII phase timing ------------------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-phase wall-clock timing, in the spirit of LLVM's `-time-passes`.
+/// A TimerGroup accumulates named durations, preserving first-insertion
+/// order (the pipeline's phase order) so reports and JSON stay stable.
+/// A ScopedTimer adds the lifetime of a scope to one entry:
+///
+///   TimerGroup TG;
+///   { ScopedTimer T(TG, "translate"); translateOutOfSSA(...); }
+///   TG.seconds("translate");
+///
+/// TimerGroups are plain value types (copyable, summable) so
+/// PipelineResult can carry one per run and a suite reduction can fold
+/// them deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SUPPORT_TIMER_H
+#define LAO_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lao {
+
+/// Named accumulated durations in first-insertion order.
+class TimerGroup {
+public:
+  /// Adds \p Seconds to the entry \p Name, creating it at the end if new.
+  void add(std::string_view Name, double Seconds) {
+    for (auto &[N, S] : Entries)
+      if (N == Name) {
+        S += Seconds;
+        return;
+      }
+    Entries.emplace_back(std::string(Name), Seconds);
+  }
+
+  /// Folds every entry of \p Other into this group (entry order of the
+  /// first operand wins; new names append in \p Other's order).
+  void addAll(const TimerGroup &Other) {
+    for (const auto &[N, S] : Other.Entries)
+      add(N, S);
+  }
+
+  /// Accumulated seconds for \p Name; 0 when the phase never ran.
+  double seconds(std::string_view Name) const {
+    for (const auto &[N, S] : Entries)
+      if (N == Name)
+        return S;
+    return 0.0;
+  }
+
+  double total() const {
+    double Sum = 0.0;
+    for (const auto &[N, S] : Entries)
+      Sum += S;
+    return Sum;
+  }
+
+  const std::vector<std::pair<std::string, double>> &entries() const {
+    return Entries;
+  }
+  bool empty() const { return Entries.empty(); }
+
+private:
+  std::vector<std::pair<std::string, double>> Entries;
+};
+
+/// Adds the wall-clock lifetime of the object to one TimerGroup entry.
+class ScopedTimer {
+public:
+  ScopedTimer(TimerGroup &Group, std::string Name)
+      : Group(Group), Name(std::move(Name)),
+        Start(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  ~ScopedTimer() {
+    Group.add(Name, std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count());
+  }
+
+private:
+  TimerGroup &Group;
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace lao
+
+#endif // LAO_SUPPORT_TIMER_H

@@ -56,6 +56,48 @@ TEST(Pipeline, PresetsMatchTable1) {
   EXPECT_FALSE(C.Sreedhar || C.PinABI || C.PinPhi || C.NaiveABI);
 }
 
+TEST(Pipeline, UnknownPresetReturnsNullopt) {
+  EXPECT_FALSE(pipelinePresetOpt("no-such-preset").has_value());
+  EXPECT_FALSE(pipelinePresetOpt("").has_value());
+  ASSERT_TRUE(pipelinePresetOpt("Lphi,ABI+C").has_value());
+  EXPECT_EQ(pipelinePresetOpt("Lphi,ABI+C")->Name, "Lphi,ABI+C");
+}
+
+TEST(PipelineDeathTest, UnknownPresetAbortsInEveryBuildType) {
+  // The satellite bugfix: before, an unknown preset tripped an assert in
+  // Debug but silently returned the default config wherever NDEBUG was
+  // set. Now it must die loudly regardless of build type.
+  EXPECT_DEATH(pipelinePreset("no-such-preset"), "unknown pipeline preset");
+}
+
+TEST(Pipeline, TimingsCoverThePhasesThatRan) {
+  auto Suite = makeExamplesSuite();
+  ASSERT_FALSE(Suite.empty());
+  auto F = cloneFunction(*Suite.front().F);
+  PipelineResult R = runPipeline(*F, pipelinePreset("Lphi,ABI+C"));
+  // Lphi,ABI+C runs constraints, phi coalescing (with its analysis),
+  // the Leung-George translation, sequentialization, and the cleanup
+  // coalescer -- each must have a timer entry.
+  EXPECT_FALSE(R.Timings.empty());
+  for (const char *Phase :
+       {"split-critical-edges", "constraints", "pin-analysis",
+        "phi-coalescing", "translate", "sequentialize", "coalesce"}) {
+    bool Found = false;
+    for (const auto &[Name, Seconds] : R.Timings.entries())
+      if (Name == Phase) {
+        Found = true;
+        EXPECT_GE(Seconds, 0.0) << Phase;
+      }
+    EXPECT_TRUE(Found) << "missing timer for phase " << Phase;
+  }
+  // Sreedhar and naive-ABI are off in this preset.
+  for (const auto &[Name, Seconds] : R.Timings.entries())
+    EXPECT_TRUE(Name != "sreedhar" && Name != "naive-abi") << Name;
+  // The legacy CoalesceSeconds field is a view of the timer group.
+  EXPECT_EQ(R.CoalesceSeconds, R.Timings.seconds("coalesce"));
+  EXPECT_GE(R.Timings.total(), R.Timings.seconds("coalesce"));
+}
+
 TEST(Pipeline, Table2ShapeOnValcc) {
   // Without ABI constraints: Lphi+C <= C (the paper's Table 2 columns).
   auto Suite = makeValccSuite(1);

@@ -20,7 +20,9 @@
 //                         print the trace
 //     --dot               print the CFG as Graphviz instead of text
 //     --verify            print structural/pinning/SSA diagnostics
-//     --stats             print pass statistics
+//     --stats             print pass statistics (including the global
+//                         counter registry, LLVM -stats style)
+//     --timing-json=<f>   write per-pass timings + counters as JSON
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +37,8 @@
 #include "regalloc/RegAlloc.h"
 #include "ssa/IfConversion.h"
 #include "ssa/SSAVerifier.h"
+#include "support/Json.h"
+#include "support/Stats.h"
 #include "support/StringUtils.h"
 #include "workloads/Suites.h"
 
@@ -59,6 +63,7 @@ struct Options {
   bool Dot = false;
   bool Verify = false;
   bool Stats = false;
+  std::string TimingJson;
   std::vector<uint64_t> RunArgs;
   bool Run = false;
   std::string InputPath;
@@ -69,7 +74,7 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [--ssa] [--ifconvert] [--pipeline=<preset>] "
       "[--regalloc[=N]] [--run a,b,...] [--verify] [--stats] "
-      "<file.lai|->\n",
+      "[--timing-json=<file>] <file.lai|->\n",
       Argv0);
   return 2;
 }
@@ -104,6 +109,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Verify = true;
     } else if (A == "--stats") {
       Opts.Stats = true;
+    } else if (A.rfind("--timing-json=", 0) == 0) {
+      Opts.TimingJson = A.substr(std::strlen("--timing-json="));
     } else if (!A.empty() && A[0] == '-' && A != "-") {
       std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
       return false;
@@ -170,7 +177,16 @@ int main(int Argc, char **Argv) {
                    S.NumPsisCreated);
   }
   if (!Opts.Pipeline.empty()) {
-    PipelineResult R = runPipeline(*F, pipelinePreset(Opts.Pipeline));
+    std::optional<PipelineConfig> Config = pipelinePresetOpt(Opts.Pipeline);
+    if (!Config) {
+      std::fprintf(stderr,
+                   "unknown pipeline preset '%s' (see outofssa/Pipeline.h "
+                   "for the Table 1 names)\n",
+                   Opts.Pipeline.c_str());
+      return 1;
+    }
+    StatsSnapshot Before = StatsRegistry::instance().snapshot();
+    PipelineResult R = runPipeline(*F, *Config);
     if (Opts.Stats)
       std::fprintf(stderr,
                    "pipeline %s: moves=%u weighted=%llu phi-copies=%u "
@@ -179,6 +195,33 @@ int main(int Argc, char **Argv) {
                    static_cast<unsigned long long>(R.WeightedMoves),
                    R.Translate.NumPhiCopies, R.Translate.NumPinCopies,
                    R.Translate.NumRepairs, R.Translate.NumElidedCopies);
+    if (!Opts.TimingJson.empty()) {
+      StatsSnapshot Counters =
+          StatsRegistry::delta(Before, StatsRegistry::instance().snapshot());
+      JsonWriter W;
+      W.beginObject();
+      W.key("input").value(Opts.InputPath);
+      W.key("pipeline").value(Opts.Pipeline);
+      W.key("moves").value(R.NumMoves);
+      W.key("weighted_moves").value(R.WeightedMoves);
+      W.key("seconds").value(R.Timings.total());
+      W.key("per_pass_seconds").beginObject();
+      for (const auto &[Phase, Seconds] : R.Timings.entries())
+        W.key(Phase).value(Seconds);
+      W.endObject();
+      W.key("counters").beginObject();
+      for (const auto &[Key, Value] : Counters)
+        W.key(Key).value(Value);
+      W.endObject();
+      W.endObject();
+      std::FILE *Out = std::fopen(Opts.TimingJson.c_str(), "w");
+      if (!Out) {
+        std::fprintf(stderr, "cannot write '%s'\n", Opts.TimingJson.c_str());
+        return 1;
+      }
+      std::fprintf(Out, "%s\n", W.str().c_str());
+      std::fclose(Out);
+    }
   }
   if (Opts.RegAlloc) {
     RegAllocOptions RA;
@@ -217,5 +260,8 @@ int main(int Argc, char **Argv) {
                   Ref.sameObservable(Res) ? "yes" : "NO");
     std::printf("\n");
   }
+
+  if (Opts.Stats)
+    StatsRegistry::instance().print(stderr);
   return 0;
 }
