@@ -152,7 +152,7 @@ public:
     return Records.back().Totals;
   }
 
-  /// Writes all recorded measurements as one JSON document:
+  /// Renders all recorded measurements as one JSON document:
   ///
   ///   {"bench": <name>, "records": [
   ///     {"suite": ..., "config": ..., "moves": ..., "weighted_moves": ...,
@@ -162,7 +162,12 @@ public:
   ///
   /// All keys are always present; per_pass_seconds has one entry per
   /// pipeline phase that ran, in phase order; counters is sorted by name.
-  void writeJson(const std::string &Path, const std::string &BenchName) const {
+  /// With \p IncludeTimings false the wall-clock fields (seconds,
+  /// coalesce_seconds, per_pass_seconds) are omitted, leaving only the
+  /// deterministic measurements — two runs of the same binary must then
+  /// produce byte-identical strings (ObservabilityTests relies on this).
+  std::string jsonString(const std::string &BenchName,
+                         bool IncludeTimings = true) const {
     JsonWriter W;
     W.beginObject();
     W.key("bench").value(BenchName);
@@ -175,12 +180,14 @@ public:
       W.key("weighted_moves").value(R.Totals.WeightedMoves);
       W.key("moves_before_coalesce").value(R.Totals.MovesBeforeCoalesce);
       W.key("coalescer_merges").value(R.Totals.CoalescerMerges);
-      W.key("seconds").value(R.Totals.Seconds);
-      W.key("coalesce_seconds").value(R.Totals.CoalesceSeconds);
-      W.key("per_pass_seconds").beginObject();
-      for (const auto &[Phase, S] : R.Totals.PerPass.entries())
-        W.key(Phase).value(S);
-      W.endObject();
+      if (IncludeTimings) {
+        W.key("seconds").value(R.Totals.Seconds);
+        W.key("coalesce_seconds").value(R.Totals.CoalesceSeconds);
+        W.key("per_pass_seconds").beginObject();
+        for (const auto &[Phase, S] : R.Totals.PerPass.entries())
+          W.key(Phase).value(S);
+        W.endObject();
+      }
       W.key("counters").beginObject();
       for (const auto &[Name, V] : R.Totals.Counters)
         W.key(Name).value(V);
@@ -189,12 +196,17 @@ public:
     }
     W.endArray();
     W.endObject();
+    return W.str();
+  }
+
+  /// Writes jsonString(BenchName) to \p Path.
+  void writeJson(const std::string &Path, const std::string &BenchName) const {
     std::FILE *Out = std::fopen(Path.c_str(), "w");
     if (!Out) {
       std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
       std::exit(1);
     }
-    std::fprintf(Out, "%s\n", W.str().c_str());
+    std::fprintf(Out, "%s\n", jsonString(BenchName).c_str());
     std::fclose(Out);
   }
 

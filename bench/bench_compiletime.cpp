@@ -16,6 +16,8 @@
 
 #include "BenchUtil.h"
 
+#include "workloads/Generator.h"
+
 #include <benchmark/benchmark.h>
 
 using namespace lao;
@@ -24,6 +26,69 @@ using namespace lao::bench;
 namespace {
 
 BenchReport Report;
+
+//===----------------------------------------------------------------------===//
+// Scaling sweep: generated workloads of increasing size
+//===----------------------------------------------------------------------===//
+
+/// One point of the compile-time scaling sweep: \p Count generated
+/// functions of \p NumStatements top-level statements each.
+struct ScaleSpec {
+  const char *Name;
+  unsigned NumStatements;
+  unsigned MaxNesting;
+  unsigned Count;
+};
+
+constexpr ScaleSpec ScaleSweep[] = {
+    {"scale_n40", 40, 2, 12},
+    {"scale_n120", 120, 3, 8},
+    {"scale_n320", 320, 3, 4},
+    {"scale_n640", 640, 4, 2},
+};
+
+/// Builds the suite for one sweep point: deterministic seeds, normalized
+/// to the same optimized pruned SSA the named suites ship. No interpreter
+/// inputs — these exist to measure compile time, not to check semantics
+/// (the named suites and tests cover that).
+std::vector<Workload> makeScaleSuite(const ScaleSpec &Spec) {
+  std::vector<Workload> Suite;
+  for (unsigned I = 0; I < Spec.Count; ++I) {
+    GeneratorParams P;
+    P.Seed = 0x5CA1E000 + 7919 * I + Spec.NumStatements;
+    P.NumStatements = Spec.NumStatements;
+    P.MaxNesting = Spec.MaxNesting;
+    P.CallPercent = 20; // ABI pressure grows the coalescer workload.
+    Workload W;
+    W.Name = std::string(Spec.Name) + "_f" + std::to_string(I);
+    W.F = generateProgram(P, W.Name);
+    normalizeToOptimizedSSA(*W.F);
+    Suite.push_back(std::move(W));
+  }
+  return Suite;
+}
+
+void printScalingTable() {
+  std::printf("\nCompile-time scaling sweep (generated workloads)\n");
+  std::printf("%-12s %7s %7s %14s %14s %8s\n", "point", "blocks", "vars",
+              "pinned-s", "naive-s", "ratio");
+  for (const ScaleSpec &Spec : ScaleSweep) {
+    std::vector<Workload> Suite = makeScaleSuite(Spec);
+    size_t Blocks = 0, Vars = 0;
+    for (const Workload &W : Suite) {
+      Blocks += W.F->numBlocks();
+      Vars += W.F->numValues();
+    }
+    SuiteTotals Pinned =
+        Report.totals(Spec.Name, Suite, pipelinePreset("Lphi,ABI+C"));
+    SuiteTotals Naive =
+        Report.totals(Spec.Name, Suite, pipelinePreset("C,naiveABI+C"));
+    std::printf("%-12s %7zu %7zu %14.6f %14.6f %8.2f\n", Spec.Name, Blocks,
+                Vars, Pinned.Seconds, Naive.Seconds,
+                Pinned.Seconds > 0 ? Naive.Seconds / Pinned.Seconds : 0.0);
+  }
+  std::fflush(stdout);
+}
 
 void printCompileTimeTable() {
   std::printf("\nCompile-time proxy: aggressive-coalescer workload\n");
@@ -74,6 +139,7 @@ void registerBenchmarks() {
 int main(int argc, char **argv) {
   std::string JsonPath = extractJsonPath(argc, argv);
   printCompileTimeTable();
+  printScalingTable();
   if (!JsonPath.empty())
     Report.writeJson(JsonPath, "compiletime");
   registerBenchmarks();

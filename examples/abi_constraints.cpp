@@ -39,7 +39,7 @@ int main() {
 
   CFG Cfg(*F);
   DominatorTree DT(Cfg);
-  Liveness LV(Cfg);
+  LivenessQuery LV(Cfg, DT);
   PinningContext Ctx(*F, Cfg, DT, LV);
   OutOfSSAStats Stats = translateOutOfSSA(*F, Ctx, Cfg);
   sequentializeParallelCopies(*F);

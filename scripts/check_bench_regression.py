@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Analysis-count regression check for the bench JSON output.
+
+Compares the per-(suite, config) analysis counters of a freshly
+generated BENCH_compiletime.json against the committed baseline. The
+checked counters count *computations* (dense liveness solves,
+interference-graph constructions, CFG/dominator builds), so the check is
+a pure counter diff: independent of machine speed, deterministic, and
+it fails the build whenever a change reintroduces a redundant analysis
+recomputation into the pipeline (see docs/ANALYSIS.md).
+
+Usage: check_bench_regression.py <baseline.json> <fresh.json>
+
+A fresh count <= baseline passes (improvements update the committed
+baseline on the next reference run); a fresh count above baseline, or a
+(suite, config) record that exists in the baseline but not in the fresh
+output, fails. Stdlib only.
+"""
+
+import json
+import sys
+
+CHECKED_COUNTERS = (
+    "liveness.analyses",
+    "interference.graphs_built",
+    "analysis.cfg_builds",
+    "analysis.domtree_builds",
+)
+
+
+def records_by_key(doc):
+    out = {}
+    for rec in doc["records"]:
+        out[(rec["suite"], rec["config"])] = rec.get("counters", {})
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        baseline = records_by_key(json.load(f))
+    with open(argv[2]) as f:
+        fresh = records_by_key(json.load(f))
+
+    failures = []
+    compared = 0
+    for key, base_counters in sorted(baseline.items()):
+        if key not in fresh:
+            failures.append("%s/%s: record missing from fresh output" % key)
+            continue
+        fresh_counters = fresh[key]
+        for name in CHECKED_COUNTERS:
+            base = base_counters.get(name, 0)
+            new = fresh_counters.get(name, 0)
+            compared += 1
+            if new > base:
+                failures.append(
+                    "%s/%s: %s regressed %d -> %d"
+                    % (key[0], key[1], name, base, new)
+                )
+
+    if failures:
+        print("bench regression check FAILED:")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print(
+        "bench regression check passed: %d counters across %d records"
+        % (compared, len(baseline))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

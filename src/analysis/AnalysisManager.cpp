@@ -1,0 +1,197 @@
+//===- AnalysisManager.cpp - Caching per-function analysis manager -----------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisManager.h"
+
+#include "support/Stats.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace lao;
+
+bool AnalysisManager::VerifyOnInvalidate = false;
+
+const CFG &AnalysisManager::cfg() {
+  if (!TheCFG) {
+    ++LAO_STAT(analysis, cfg_builds);
+    TheCFG = std::make_unique<CFG>(F);
+  }
+  return *TheCFG;
+}
+
+const DominatorTree &AnalysisManager::domTree() {
+  if (!DT) {
+    ++LAO_STAT(analysis, domtree_builds);
+    DT = std::make_unique<DominatorTree>(cfg());
+  }
+  return *DT;
+}
+
+const LoopInfo &AnalysisManager::loopInfo() {
+  if (!LI) {
+    ++LAO_STAT(analysis, loopinfo_builds);
+    LI = std::make_unique<LoopInfo>(cfg(), domTree());
+  }
+  return *LI;
+}
+
+Liveness &AnalysisManager::liveness() {
+  if (!LV)
+    LV = std::make_unique<Liveness>(cfg());
+  return *LV;
+}
+
+const LivenessQuery &AnalysisManager::livenessQuery() {
+  if (!LQ)
+    LQ = std::make_unique<LivenessQuery>(cfg(), domTree());
+  return *LQ;
+}
+
+InterferenceGraph &AnalysisManager::interference() {
+  if (!IG)
+    IG = std::make_unique<InterferenceGraph>(F, liveness());
+  return *IG;
+}
+
+bool AnalysisManager::isCached(AnalysisKind K) const {
+  switch (K) {
+  case AnalysisKind::CFG:
+    return TheCFG != nullptr;
+  case AnalysisKind::DomTree:
+    return DT != nullptr;
+  case AnalysisKind::LoopInfo:
+    return LI != nullptr;
+  case AnalysisKind::Liveness:
+    return LV != nullptr;
+  case AnalysisKind::LivenessQuery:
+    return LQ != nullptr;
+  case AnalysisKind::Interference:
+    return IG != nullptr;
+  }
+  return false;
+}
+
+void AnalysisManager::invalidate(const PreservedAnalyses &PA) {
+  ++LAO_STAT(analysis, invalidations);
+  // Dependency closure. CFG is the root: Liveness and DomTree hold
+  // references into the CFG object, LivenessQuery into the DomTree, the
+  // InterferenceGraph is derived from Liveness, and LoopInfo from the
+  // DomTree.
+  bool DropCFG = !PA.isPreserved(AnalysisKind::CFG);
+  bool DropDT = DropCFG || !PA.isPreserved(AnalysisKind::DomTree);
+  bool DropLI = DropDT || !PA.isPreserved(AnalysisKind::LoopInfo);
+  bool DropLV = DropCFG || !PA.isPreserved(AnalysisKind::Liveness);
+  bool DropLQ = DropDT || !PA.isPreserved(AnalysisKind::LivenessQuery);
+  bool DropIG = DropLV || !PA.isPreserved(AnalysisKind::Interference);
+
+  if (DropIG)
+    IG.reset();
+  if (DropLQ)
+    LQ.reset();
+  if (DropLV)
+    LV.reset();
+  if (DropLI)
+    LI.reset();
+  if (DropDT)
+    DT.reset();
+  if (DropCFG)
+    TheCFG.reset();
+
+  if (VerifyOnInvalidate) {
+    std::string Diag = verify();
+    if (!Diag.empty()) {
+      std::fprintf(stderr,
+                   "AnalysisManager: pass lied about preserved analyses:\n%s\n",
+                   Diag.c_str());
+      std::abort();
+    }
+  }
+}
+
+std::string AnalysisManager::verify() const {
+  std::ostringstream Diag;
+  size_t NB = F.numBlocks();
+
+  if (TheCFG) {
+    if (TheCFG->rpo().size() != NB)
+      return "CFG stale: block count changed since it was built";
+    CFG Fresh(F);
+    for (const auto &BB : F.blocks()) {
+      const auto &CachedSuccs = TheCFG->succs(BB.get());
+      const auto &FreshSuccs = Fresh.succs(BB.get());
+      if (CachedSuccs.size() != FreshSuccs.size()) {
+        Diag << "CFG stale: block b" << BB->id() << " successor count "
+             << CachedSuccs.size() << " != " << FreshSuccs.size();
+        return Diag.str();
+      }
+      for (size_t I = 0; I < CachedSuccs.size(); ++I)
+        if (CachedSuccs[I] != FreshSuccs[I]) {
+          Diag << "CFG stale: block b" << BB->id() << " successor " << I
+               << " differs";
+          return Diag.str();
+        }
+      if (TheCFG->isReachable(BB.get()) != Fresh.isReachable(BB.get())) {
+        Diag << "CFG stale: block b" << BB->id() << " reachability differs";
+        return Diag.str();
+      }
+    }
+  }
+  if (DT) {
+    DominatorTree FreshDT(*TheCFG);
+    for (const auto &BB : F.blocks())
+      if (DT->idom(BB.get()) != FreshDT.idom(BB.get())) {
+        Diag << "DominatorTree stale: idom(b" << BB->id() << ") differs";
+        return Diag.str();
+      }
+  }
+  if (LI) {
+    LoopInfo FreshLI(*TheCFG, *DT);
+    for (const auto &BB : F.blocks())
+      if (LI->depth(BB.get()) != FreshLI.depth(BB.get()) ||
+          LI->isHeader(BB.get()) != FreshLI.isHeader(BB.get())) {
+        Diag << "LoopInfo stale: loop data of b" << BB->id() << " differs";
+        return Diag.str();
+      }
+  }
+  if (LV) {
+    Liveness FreshLV(*TheCFG);
+    for (const auto &BB : F.blocks())
+      if (!(LV->liveIn(BB.get()) == FreshLV.liveIn(BB.get())) ||
+          !(LV->liveOut(BB.get()) == FreshLV.liveOut(BB.get()))) {
+        Diag << "Liveness stale: live sets of b" << BB->id() << " differ";
+        return Diag.str();
+      }
+  }
+  if (LQ) {
+    Liveness FreshLV(*TheCFG);
+    for (const auto &BB : F.blocks())
+      for (RegId V = 0; V < F.numValues(); ++V)
+        if (LQ->isLiveIn(V, BB.get()) != FreshLV.isLiveIn(V, BB.get()) ||
+            LQ->isLiveOut(V, BB.get()) != FreshLV.isLiveOut(V, BB.get())) {
+          Diag << "LivenessQuery stale: v" << V << " at b" << BB->id()
+               << " differs from dense liveness";
+          return Diag.str();
+        }
+  }
+  if (IG) {
+    // A merged-into graph legitimately differs from a fresh build (the
+    // coalescer mutates it), so only check it when it has not been merged
+    // since construction: every fresh edge must be present. Missing
+    // cached edges are the dangerous direction (unsound coalescing).
+    Liveness FreshLV(*TheCFG);
+    InterferenceGraph FreshIG(F, FreshLV);
+    for (RegId A = 0; A < F.numValues(); ++A)
+      for (RegId B : FreshIG.neighbors(A))
+        if (B > A && !IG->interfere(A, B)) {
+          Diag << "InterferenceGraph stale: missing edge v" << A << " -- v"
+               << B;
+          return Diag.str();
+        }
+  }
+  return std::string();
+}

@@ -1,0 +1,72 @@
+//===- DefUseIndex.cpp - Per-variable def/use occurrence index ----------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DefUseIndex.h"
+
+using namespace lao;
+
+DefUseIndex::DefUseIndex(const Function &F) {
+  size_t NV = F.numValues();
+  Vars.resize(NV);
+
+  size_t NumInsts = 0;
+  for (const auto &BB : F.blocks())
+    NumInsts += BB->instructions().size();
+  Ordinals.reserve(NumInsts);
+
+  // Block-epoch markers (block id + 1; 0 = never) for one-pass dedup of
+  // the per-block summaries. LastDef doubles as the upward-exposure
+  // test: a use is upward-exposed iff no def of it precedes it in the
+  // block (ParCopy reads all sources before writing any destination, and
+  // the loops below visit uses first).
+  std::vector<uint32_t> LastDef(NV, 0), LastUE(NV, 0), LastDefBlock(NV, 0);
+
+  [[maybe_unused]] uint32_t PrevId = 0;
+  for (const auto &BB : F.blocks()) {
+    uint32_t B = BB->id();
+    assert((B == 0 || B > PrevId) && "blocks must iterate in id order");
+    PrevId = B;
+    uint32_t Mark = B + 1;
+    uint32_t Ord = 0;
+    auto Pack = [B](uint32_t Ord, EventKind K) {
+      return (static_cast<uint64_t>(B) << 32) |
+             (static_cast<uint64_t>(Ord) << 1) | K;
+    };
+    auto NoteDef = [&](RegId D, uint32_t Ord) {
+      Vars[D].Events.push_back(Pack(Ord, DefEvent));
+      ++Vars[D].NumDefEvents;
+      LastDef[D] = Mark;
+      if (LastDefBlock[D] != Mark) {
+        LastDefBlock[D] = Mark;
+        Vars[D].DefB.push_back(B);
+      }
+    };
+    for (const Instruction &I : BB->instructions()) {
+      Ordinals.emplace(&I, Ord);
+      if (I.isPhi()) {
+        // Result defined at block entry; arguments live at the end of
+        // the matching predecessor, not here.
+        NoteDef(I.def(0), Ord);
+        for (unsigned K = 0; K < I.numUses(); ++K)
+          Vars[I.use(K)].PhiOut.push_back(I.incomingBlock(K)->id());
+        ++Ord;
+        continue;
+      }
+      for (RegId U : I.uses()) {
+        Vars[U].Events.push_back(Pack(Ord, UseEvent));
+        if (LastDef[U] != Mark && LastUE[U] != Mark) {
+          LastUE[U] = Mark;
+          Vars[U].UE.push_back(B);
+        }
+      }
+      for (RegId D : I.defs())
+        NoteDef(D, Ord);
+      ++Ord;
+    }
+  }
+  // Events were appended in (block id, ordinal, uses-before-defs) order,
+  // which is exactly the packed sort order — no per-variable sort needed.
+}

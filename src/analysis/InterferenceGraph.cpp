@@ -14,7 +14,23 @@ using namespace lao;
 
 InterferenceGraph::InterferenceGraph(const Function &F, const Liveness &LV) {
   ++LAO_STAT(interference, graphs_built);
-  Adj.resize(F.numValues());
+  size_t NV = F.numValues();
+  Adj.resize(NV);
+  Matrix.resize(NV < 2 ? 0 : NV * (NV - 1) / 2);
+
+  // During construction, append edges unsorted (the bit matrix already
+  // dedups); one sort per node at the end beats a binary-search insert
+  // per edge.
+  auto AddRaw = [&](RegId A, RegId B) {
+    if (A == B)
+      return;
+    size_t Idx = triIndex(A, B);
+    if (Matrix.test(Idx))
+      return;
+    Matrix.set(Idx);
+    Adj[A].push_back(B);
+    Adj[B].push_back(A);
+  };
 
   for (const auto &BB : F.blocks()) {
     BitVector Live = LV.liveOut(BB.get());
@@ -28,7 +44,7 @@ InterferenceGraph::InterferenceGraph(const Function &F, const Liveness &LV) {
         // Move d = s: d does not interfere with s through this move.
         RegId D = I.def(0), S = I.use(0);
         Live.reset(S);
-        Live.forEach([&](size_t L) { addEdge(D, static_cast<RegId>(L)); });
+        Live.forEach([&](size_t L) { AddRaw(D, static_cast<RegId>(L)); });
         Live.reset(D);
         Live.set(S);
         continue;
@@ -40,13 +56,13 @@ InterferenceGraph::InterferenceGraph(const Function &F, const Liveness &LV) {
           RegId D = I.def(K), S = I.use(K);
           Live.forEach([&](size_t L) {
             if (static_cast<RegId>(L) != S && static_cast<RegId>(L) != D)
-              addEdge(D, static_cast<RegId>(L));
+              AddRaw(D, static_cast<RegId>(L));
           });
         }
         // Destinations also interfere pairwise (written in parallel).
         for (unsigned A = 0; A < I.numDefs(); ++A)
           for (unsigned B = A + 1; B < I.numDefs(); ++B)
-            addEdge(I.def(A), I.def(B));
+            AddRaw(I.def(A), I.def(B));
         for (RegId D : I.defs())
           Live.reset(D);
         for (RegId U : I.uses())
@@ -56,29 +72,32 @@ InterferenceGraph::InterferenceGraph(const Function &F, const Liveness &LV) {
       for (RegId D : I.defs())
         Live.forEach([&](size_t L) {
           if (static_cast<RegId>(L) != D)
-            addEdge(D, static_cast<RegId>(L));
+            AddRaw(D, static_cast<RegId>(L));
         });
       // Multiple defs of one instruction are written together.
       for (unsigned A = 0; A < I.numDefs(); ++A)
         for (unsigned B = A + 1; B < I.numDefs(); ++B)
-          addEdge(I.def(A), I.def(B));
+          AddRaw(I.def(A), I.def(B));
       for (RegId D : I.defs())
         Live.reset(D);
       for (RegId U : I.uses())
         Live.set(U);
     }
   }
+
+  for (auto &List : Adj)
+    std::sort(List.begin(), List.end());
 }
 
 void InterferenceGraph::mergeInto(RegId A, RegId B) {
   assert(A != B && "merging a node into itself");
-  for (RegId N : Adj[B]) {
-    Adj[N].erase(B);
-    if (N != A) {
-      Adj[N].insert(A);
-      Adj[A].insert(N);
-    }
-  }
+  // Steal B's neighbor list so addEdge below cannot observe B mid-update.
+  std::vector<RegId> BNbrs = std::move(Adj[B]);
   Adj[B].clear();
-  Adj[A].erase(B);
+  for (RegId N : BNbrs) {
+    Matrix.reset(triIndex(B, N));
+    sortedErase(Adj[N], B);
+    if (N != A)
+      addEdge(A, N);
+  }
 }

@@ -11,6 +11,13 @@
 /// where the other is live, except that the destination of a move does not
 /// interfere with its source at that move (Chaitin's refinement).
 ///
+/// Hybrid representation (the classic Chaitin trade-off): a lower-
+/// triangular bit matrix answers `interfere(A, B)` in O(1), while sorted
+/// per-node adjacency vectors give cache-friendly, *deterministic*
+/// neighbor iteration — `neighbors()` always enumerates in ascending
+/// RegId order, so every order-sensitive client (coalescer merge loops,
+/// allocator color scans) behaves identically run to run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LAO_ANALYSIS_INTERFERENCEGRAPH_H
@@ -18,8 +25,10 @@
 
 #include "analysis/Liveness.h"
 #include "ir/Function.h"
+#include "support/BitVector.h"
 
-#include <unordered_set>
+#include <algorithm>
+#include <cassert>
 #include <vector>
 
 namespace lao {
@@ -33,8 +42,7 @@ public:
   bool interfere(RegId A, RegId B) const {
     if (A == B)
       return false;
-    const auto &Set = Adj[A];
-    return Set.find(B) != Set.end();
+    return Matrix.test(triIndex(A, B));
   }
 
   /// Merges \p B into \p A: A acquires all of B's edges. Used after
@@ -42,17 +50,42 @@ public:
   void mergeInto(RegId A, RegId B);
 
   size_t numNodes() const { return Adj.size(); }
-  const std::unordered_set<RegId> &neighbors(RegId A) const { return Adj[A]; }
+
+  /// B's neighbors in ascending RegId order (deterministic).
+  const std::vector<RegId> &neighbors(RegId A) const { return Adj[A]; }
 
   void addEdge(RegId A, RegId B) {
     if (A == B)
       return;
-    Adj[A].insert(B);
-    Adj[B].insert(A);
+    size_t Idx = triIndex(A, B);
+    if (Matrix.test(Idx))
+      return;
+    Matrix.set(Idx);
+    sortedInsert(Adj[A], B);
+    sortedInsert(Adj[B], A);
   }
 
 private:
-  std::vector<std::unordered_set<RegId>> Adj;
+  /// Index of the unordered pair {A, B} in the lower-triangular matrix.
+  static size_t triIndex(RegId A, RegId B) {
+    assert(A != B && "no self-edges");
+    if (A < B)
+      std::swap(A, B);
+    return static_cast<size_t>(A) * (A - 1) / 2 + B;
+  }
+
+  static void sortedInsert(std::vector<RegId> &Vec, RegId V) {
+    Vec.insert(std::lower_bound(Vec.begin(), Vec.end(), V), V);
+  }
+
+  static void sortedErase(std::vector<RegId> &Vec, RegId V) {
+    auto It = std::lower_bound(Vec.begin(), Vec.end(), V);
+    assert(It != Vec.end() && *It == V && "erasing a missing neighbor");
+    Vec.erase(It);
+  }
+
+  BitVector Matrix; ///< Lower-triangular adjacency bits.
+  std::vector<std::vector<RegId>> Adj;
 };
 
 } // namespace lao

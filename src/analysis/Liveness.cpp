@@ -6,9 +6,12 @@
 
 #include "analysis/Liveness.h"
 
+#include "analysis/DefUseIndex.h"
 #include "support/Stats.h"
 
 using namespace lao;
+
+Liveness::~Liveness() = default;
 
 Liveness::Liveness(const CFG &Cfg) : Cfg(Cfg) {
   const Function &F = Cfg.func();
@@ -85,35 +88,152 @@ Liveness::Liveness(const CFG &Cfg) : Cfg(Cfg) {
   }
 }
 
+const DefUseIndex &Liveness::index() const {
+  if (!Index)
+    Index = std::make_unique<DefUseIndex>(Cfg.func());
+  return *Index;
+}
+
 bool Liveness::isLiveAfter(RegId V, const BasicBlock *BB,
                            BasicBlock::InstList::const_iterator Pos) const {
-  // Scan forward from the instruction after Pos: V is live iff it is used
-  // before being fully redefined, or it survives to the block end.
-  auto It = Pos;
-  ++It;
-  for (auto End = BB->instructions().end(); It != End; ++It) {
-    const Instruction &I = *It;
-    assert(!I.isPhi() && "phi after non-phi position");
-    for (RegId U : I.uses())
-      if (U == V)
-        return true;
-    for (RegId D : I.defs())
-      if (D == V)
-        return false; // Redefined before any use.
-  }
+  // V is live after Pos iff its next occurrence in the block is a use
+  // (before being fully redefined), or there is no further occurrence and
+  // it survives to the block end.
+  const DefUseIndex &Idx = index();
+  int K = Idx.firstEventFrom(V, BB->id(), Idx.ordinalOf(&*Pos),
+                             /*Inclusive=*/false);
+  if (K >= 0)
+    return K == DefUseIndex::UseEvent;
   return isLiveOut(V, BB);
 }
 
 bool Liveness::isLiveBefore(RegId V, const BasicBlock *BB,
                             BasicBlock::InstList::const_iterator Pos) const {
-  for (auto It = Pos, End = BB->instructions().end(); It != End; ++It) {
-    const Instruction &I = *It;
-    for (RegId U : I.uses())
-      if (U == V && !I.isPhi())
-        return true;
-    for (RegId D : I.defs())
-      if (D == V)
-        return false;
-  }
+  // Phi uses are not events of the phi's own block (they flow out of the
+  // predecessor), but phi defs are — so the indexed answer matches the
+  // old scan even when Pos sits at or before a phi group.
+  const DefUseIndex &Idx = index();
+  int K = Idx.firstEventFrom(V, BB->id(), Idx.ordinalOf(&*Pos),
+                             /*Inclusive=*/true);
+  if (K >= 0)
+    return K == DefUseIndex::UseEvent;
   return isLiveOut(V, BB);
+}
+
+void Liveness::applyRenames(const std::vector<RegId> &RenameTo) {
+  ++LAO_STAT(liveness, incremental_renames);
+  size_t NV = Cfg.func().numValues();
+  // Resolve chains (a -> b -> c) so every victim maps to its final
+  // survivor.
+  auto Resolve = [&](RegId V) {
+    while (V < RenameTo.size() && RenameTo[V] != InvalidReg)
+      V = RenameTo[V];
+    return V;
+  };
+  std::vector<RegId> Final(NV, InvalidReg);
+  bool Any = false;
+  for (RegId V = 0; V < RenameTo.size() && V < NV; ++V) {
+    if (RenameTo[V] != InvalidReg) {
+      Final[V] = Resolve(V);
+      Any = true;
+    }
+  }
+  if (!Any)
+    return;
+  for (size_t B = 0, NB = LiveIn.size(); B < NB; ++B) {
+    for (RegId V = 0; V < NV; ++V) {
+      if (Final[V] == InvalidReg)
+        continue;
+      if (LiveIn[B].test(V)) {
+        LiveIn[B].reset(V);
+        LiveIn[B].set(Final[V]);
+      }
+      if (LiveOut[B].test(V)) {
+        LiveOut[B].reset(V);
+        LiveOut[B].set(Final[V]);
+      }
+    }
+  }
+  Index.reset(); // Underlying instructions are about to change / changed.
+}
+
+void Liveness::recomputeValues(const std::vector<RegId> &Vars) {
+  if (Vars.empty())
+    return;
+  ++LAO_STAT(liveness, partial_recomputes);
+  const Function &F = Cfg.func();
+  size_t NB = F.numBlocks();
+  size_t K = Vars.size();
+
+  // Dense slot assignment for just the requested variables.
+  std::vector<uint32_t> Slot(F.numValues(), UINT32_MAX);
+  for (size_t I = 0; I < K; ++I)
+    Slot[Vars[I]] = static_cast<uint32_t>(I);
+
+  // Restricted K-bit per-block summaries, mirroring the constructor.
+  std::vector<BitVector> UeUses(NB, BitVector(K));
+  std::vector<BitVector> Defs(NB, BitVector(K));
+  std::vector<BitVector> PhiOut(NB, BitVector(K));
+  for (const auto &BB : F.blocks()) {
+    BitVector &UE = UeUses[BB->id()];
+    BitVector &DF = Defs[BB->id()];
+    for (const Instruction &I : BB->instructions()) {
+      if (I.isPhi()) {
+        if (uint32_t S = Slot[I.def(0)]; S != UINT32_MAX)
+          DF.set(S);
+        for (unsigned U = 0; U < I.numUses(); ++U)
+          if (uint32_t S = Slot[I.use(U)]; S != UINT32_MAX)
+            PhiOut[I.incomingBlock(U)->id()].set(S);
+        continue;
+      }
+      // ParCopy and plain instructions both read all uses before writing
+      // any def for the purposes of upward exposure.
+      for (RegId U : I.uses())
+        if (uint32_t S = Slot[U]; S != UINT32_MAX && !DF.test(S))
+          UE.set(S);
+      for (RegId D : I.defs())
+        if (uint32_t S = Slot[D]; S != UINT32_MAX)
+          DF.set(S);
+    }
+  }
+
+  std::vector<BitVector> In(NB, BitVector(K)), Out(NB, BitVector(K));
+  const auto &Rpo = Cfg.rpo();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto It = Rpo.rbegin(); It != Rpo.rend(); ++It) {
+      BasicBlock *BB = *It;
+      BitVector NewOut = PhiOut[BB->id()];
+      for (BasicBlock *S : Cfg.succs(BB))
+        NewOut.orWith(In[S->id()]);
+      BitVector NewIn = NewOut;
+      NewIn.subtract(Defs[BB->id()]);
+      NewIn.orWith(UeUses[BB->id()]);
+      if (!(NewOut == Out[BB->id()])) {
+        Out[BB->id()] = std::move(NewOut);
+        Changed = true;
+      }
+      if (!(NewIn == In[BB->id()])) {
+        In[BB->id()] = std::move(NewIn);
+        Changed = true;
+      }
+    }
+  }
+
+  // Write the restricted solution back into the full-width sets.
+  for (size_t B = 0; B < NB; ++B) {
+    for (size_t I = 0; I < K; ++I) {
+      RegId V = Vars[I];
+      if (In[B].test(I))
+        LiveIn[B].set(V);
+      else
+        LiveIn[B].reset(V);
+      if (Out[B].test(I))
+        LiveOut[B].set(V);
+      else
+        LiveOut[B].reset(V);
+    }
+  }
+  Index.reset();
 }

@@ -25,14 +25,18 @@
 #include "ir/Function.h"
 #include "support/BitVector.h"
 
+#include <memory>
 #include <vector>
 
 namespace lao {
+
+class DefUseIndex;
 
 /// Liveness sets for every block of a function.
 class Liveness {
 public:
   explicit Liveness(const CFG &Cfg);
+  ~Liveness();
 
   const BitVector &liveIn(const BasicBlock *BB) const {
     return LiveIn[BB->id()];
@@ -51,7 +55,9 @@ public:
   /// Returns true if \p V is live immediately *after* instruction \p Pos
   /// of block \p BB (i.e. at the program point following it). Phi uses
   /// count as uses at the end of the predecessor block, and are therefore
-  /// covered by the liveOut component.
+  /// covered by the liveOut component. O(log uses-of-V) via a lazily
+  /// built per-block position index (DefUseIndex), instead of rescanning
+  /// the instruction list.
   bool isLiveAfter(RegId V, const BasicBlock *BB,
                    BasicBlock::InstList::const_iterator Pos) const;
 
@@ -61,10 +67,30 @@ public:
 
   const CFG &cfg() const { return Cfg; }
 
+  /// Incremental maintenance for the coalescer: projects a victim ->
+  /// survivor rename map (`RenameTo[v] != InvalidReg` marks a victim;
+  /// chains are chased) onto the block-level sets. Victim bits are
+  /// cleared and OR-ed into their survivor — exact for the rename itself;
+  /// callers that also *delete* instructions (identity copies) must
+  /// follow up with recomputeValues on the affected survivors.
+  void applyRenames(const std::vector<RegId> &RenameTo);
+
+  /// Recomputes the block-level sets of \p Vars exactly, from the
+  /// function's current instructions, leaving every other variable's
+  /// bits untouched. A restricted |Vars|-bit fixpoint: one scan of the
+  /// function plus a small iteration, instead of a full dense analysis.
+  void recomputeValues(const std::vector<RegId> &Vars);
+
 private:
   const CFG &Cfg;
   std::vector<BitVector> LiveIn;
   std::vector<BitVector> LiveOut;
+  /// Lazily built occurrence index backing isLiveAfter/isLiveBefore;
+  /// dropped whenever the sets are incrementally updated (the underlying
+  /// instructions changed).
+  mutable std::unique_ptr<DefUseIndex> Index;
+
+  const DefUseIndex &index() const;
 };
 
 } // namespace lao

@@ -6,27 +6,131 @@
 
 #include "outofssa/Coalescer.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/InterferenceGraph.h"
 #include "analysis/Liveness.h"
 #include "ir/CFG.h"
 #include "support/Stats.h"
 
+#include <algorithm>
 #include <cassert>
+#include <optional>
+#include <unordered_set>
 #include <vector>
 
 using namespace lao;
 
-CoalescerStats lao::coalesceAggressively(Function &F,
-                                         const CoalescerOptions &Opts) {
-  CoalescerStats Stats;
+namespace {
 
+/// Packs an unordered RegId pair into one hash/set key.
+uint64_t pairKey(RegId A, RegId B) {
+  if (A < B)
+    std::swap(A, B);
+  return (static_cast<uint64_t>(A) << 32) | B;
+}
+
+/// Graph-free fixpoint check: would a freshly built exact interference
+/// graph let the sweep merge at least one remaining copy?
+///
+/// Replays the InterferenceGraph constructor's backward scan, but instead
+/// of materializing edges it only *marks* the candidate pairs — the
+/// (def, use) pairs of the remaining copies (identities and
+/// physical/physical pairs excluded) — that would receive an edge. A
+/// candidate left unmarked is exactly a copy the sweep would merge on a
+/// fresh graph, so "any candidate unmarked" <=> "a rebuild would be
+/// productive".
+bool anyCoalescableCopy(const Function &F, const Liveness &LV) {
+  ++LAO_STAT(coalesce, confirm_scans);
+
+  // Candidate pairs and, per register, its candidate partners (tiny
+  // lists: only registers appearing in copies have any).
+  std::unordered_set<uint64_t> Candidates;
+  std::vector<std::vector<RegId>> Partners(F.numValues());
+  for (const auto &BB : F.blocks()) {
+    for (const Instruction &I : BB->instructions()) {
+      if (!I.isCopy())
+        continue;
+      RegId D = I.def(0), S = I.use(0);
+      if (D == S)
+        continue;
+      if (F.isPhysical(D) && F.isPhysical(S))
+        continue;
+      if (Candidates.insert(pairKey(D, S)).second) {
+        Partners[D].push_back(S);
+        Partners[S].push_back(D);
+      }
+    }
+  }
+  if (Candidates.empty())
+    return false;
+
+  // Mirror of the graph constructor's edge rules, restricted to a def's
+  // candidate partners (everything else cannot affect the answer).
+  std::unordered_set<uint64_t> Interfering;
+  auto MarkDef = [&](RegId D, const BitVector &Live, RegId ExemptSrc) {
+    for (RegId P : Partners[D])
+      if (P != D && P != ExemptSrc && Live.test(P))
+        Interfering.insert(pairKey(D, P));
+  };
+  auto MarkDefPair = [&](RegId A, RegId B) {
+    if (A != B && Candidates.count(pairKey(A, B)))
+      Interfering.insert(pairKey(A, B));
+  };
+
+  for (const auto &BB : F.blocks()) {
+    BitVector Live = LV.liveOut(BB.get());
+    auto &Insts = BB->instructions();
+    for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+      const Instruction &I = *It;
+      assert(!I.isPhi() && "coalescer expects non-SSA code");
+      if (I.isCopy()) {
+        RegId D = I.def(0), S = I.use(0);
+        // The constructor resets S before scanning Live, then resets D
+        // and re-adds S; exempting S from the partner test is the same
+        // restriction.
+        Live.reset(S);
+        MarkDef(D, Live, /*ExemptSrc=*/S);
+        Live.reset(D);
+        Live.set(S);
+        continue;
+      }
+      if (I.isParCopy()) {
+        for (unsigned K = 0; K < I.numDefs(); ++K)
+          MarkDef(I.def(K), Live, /*ExemptSrc=*/I.use(K));
+        for (unsigned A = 0; A < I.numDefs(); ++A)
+          for (unsigned B = A + 1; B < I.numDefs(); ++B)
+            MarkDefPair(I.def(A), I.def(B));
+        for (RegId D : I.defs())
+          Live.reset(D);
+        for (RegId U : I.uses())
+          Live.set(U);
+        continue;
+      }
+      for (RegId D : I.defs())
+        MarkDef(D, Live, /*ExemptSrc=*/InvalidReg);
+      for (unsigned A = 0; A < I.numDefs(); ++A)
+        for (unsigned B = A + 1; B < I.numDefs(); ++B)
+          MarkDefPair(I.def(A), I.def(B));
+      for (RegId D : I.defs())
+        Live.reset(D);
+      for (RegId U : I.uses())
+        Live.set(U);
+    }
+  }
+  return Interfering.size() < Candidates.size();
+}
+
+/// The pre-optimization schedule, kept verbatim as the reference for the
+/// equivalence tests: every iteration rebuilds CFG + liveness + graph and
+/// runs exactly one sweep.
+CoalescerStats coalesceRebuildingEveryRound(Function &F) {
+  CoalescerStats Stats;
   for (;;) {
     ++Stats.NumRebuilds;
     CFG Cfg(F);
     Liveness LV(Cfg);
     InterferenceGraph IG(F, LV);
 
-    // Lazily-applied rename map (victim -> survivor), chased on lookup.
     std::vector<RegId> RenameTo(F.numValues(), InvalidReg);
     auto Resolve = [&](RegId V) {
       while (RenameTo[V] != InvalidReg)
@@ -34,44 +138,32 @@ CoalescerStats lao::coalesceAggressively(Function &F,
       return V;
     };
 
-    // Sweep the copy list to a fixpoint on this graph. After a merge the
-    // incrementally-maintained graph is conservative (neighborhoods are
-    // unioned), so every merge it allows is safe; copies it pessimistically
-    // blocks are retried after the next exact rebuild.
     bool MergedOnThisGraph = false;
-    bool SweepMerged = true;
-    while (SweepMerged) {
-      SweepMerged = false;
-      ++Stats.NumRounds;
-      for (const auto &BB : F.blocks()) {
-        for (Instruction &I : BB->instructions()) {
-          if (!I.isCopy())
-            continue;
-          RegId D = Resolve(I.def(0));
-          RegId S = Resolve(I.use(0));
-          if (D == S)
-            continue; // Already an identity; removed below.
-          if (F.isPhysical(D) && F.isPhysical(S))
-            continue; // Cannot merge two machine registers.
-          if (IG.interfere(D, S))
-            continue;
-          RegId Survivor = F.isPhysical(S) ? S : D;
-          RegId Victim = Survivor == D ? S : D;
-          IG.mergeInto(Survivor, Victim);
-          RenameTo[Victim] = Survivor;
-          ++Stats.NumMerges;
-          SweepMerged = true;
-        }
+    ++Stats.NumRounds;
+    for (const auto &BB : F.blocks()) {
+      for (Instruction &I : BB->instructions()) {
+        if (!I.isCopy())
+          continue;
+        RegId D = Resolve(I.def(0));
+        RegId S = Resolve(I.use(0));
+        if (D == S)
+          continue;
+        if (F.isPhysical(D) && F.isPhysical(S))
+          continue;
+        if (IG.interfere(D, S))
+          continue;
+        RegId Survivor = F.isPhysical(S) ? S : D;
+        RegId Victim = Survivor == D ? S : D;
+        IG.mergeInto(Survivor, Victim);
+        RenameTo[Victim] = Survivor;
+        ++Stats.NumMerges;
+        MergedOnThisGraph = true;
       }
-      MergedOnThisGraph |= SweepMerged;
-      if (Opts.RebuildEveryRound)
-        break;
     }
 
     if (!MergedOnThisGraph)
-      break; // Exact graph, nothing mergeable: global fixpoint.
+      break;
 
-    // Apply the renames and drop the moves that became identities.
     for (const auto &BB : F.blocks()) {
       auto &Insts = BB->instructions();
       for (auto It = Insts.begin(); It != Insts.end();) {
@@ -87,8 +179,113 @@ CoalescerStats lao::coalesceAggressively(Function &F,
         }
       }
     }
-    // Deleted moves shrink liveness, so an exact rebuild may expose more
-    // merges; loop until a fresh graph yields none.
+  }
+  return Stats;
+}
+
+} // namespace
+
+CoalescerStats lao::coalesceAggressively(Function &F,
+                                         const CoalescerOptions &Opts,
+                                         AnalysisManager *AM) {
+  CoalescerStats Stats;
+
+  if (Opts.RebuildEveryRound) {
+    Stats = coalesceRebuildingEveryRound(F);
+  } else {
+    std::optional<AnalysisManager> LocalAM;
+    if (!AM) {
+      LocalAM.emplace(F);
+      AM = &*LocalAM;
+    }
+    Liveness &LV = AM->liveness();
+
+    // Graph-free check first: most calls after the phi-coalescing
+    // configurations find nothing to merge and never build a graph.
+    while (anyCoalescableCopy(F, LV)) {
+      ++Stats.NumRebuilds;
+      [[maybe_unused]] unsigned MergesBefore = Stats.NumMerges;
+      InterferenceGraph &IG = AM->interference();
+
+      // Lazily-applied rename map (victim -> survivor), chased on lookup.
+      std::vector<RegId> RenameTo(F.numValues(), InvalidReg);
+      auto Resolve = [&](RegId V) {
+        while (RenameTo[V] != InvalidReg)
+          V = RenameTo[V];
+        return V;
+      };
+
+      // Sweep the copy list to a fixpoint on this graph. After a merge
+      // the incrementally-maintained graph is conservative (neighborhoods
+      // are unioned), so every merge it allows is safe; copies it
+      // pessimistically blocks are retried after the next exact rebuild.
+      bool SweepMerged = true;
+      while (SweepMerged) {
+        SweepMerged = false;
+        ++Stats.NumRounds;
+        for (const auto &BB : F.blocks()) {
+          for (Instruction &I : BB->instructions()) {
+            if (!I.isCopy())
+              continue;
+            RegId D = Resolve(I.def(0));
+            RegId S = Resolve(I.use(0));
+            if (D == S)
+              continue; // Already an identity; removed below.
+            if (F.isPhysical(D) && F.isPhysical(S))
+              continue; // Cannot merge two machine registers.
+            if (IG.interfere(D, S))
+              continue;
+            RegId Survivor = F.isPhysical(S) ? S : D;
+            RegId Victim = Survivor == D ? S : D;
+            IG.mergeInto(Survivor, Victim);
+            RenameTo[Victim] = Survivor;
+            ++Stats.NumMerges;
+            SweepMerged = true;
+          }
+        }
+      }
+      assert(Stats.NumMerges > MergesBefore &&
+             "confirm scan promised a mergeable copy");
+
+      // Apply the renames and drop the moves that became identities.
+      std::vector<RegId> Survivors;
+      for (RegId V = 0; V < F.numValues(); ++V)
+        if (RenameTo[V] != InvalidReg)
+          Survivors.push_back(Resolve(V));
+      std::sort(Survivors.begin(), Survivors.end());
+      Survivors.erase(std::unique(Survivors.begin(), Survivors.end()),
+                      Survivors.end());
+
+      for (const auto &BB : F.blocks()) {
+        auto &Insts = BB->instructions();
+        for (auto It = Insts.begin(); It != Insts.end();) {
+          for (unsigned K = 0; K < It->numDefs(); ++K)
+            It->setDef(K, Resolve(It->def(K)));
+          for (unsigned K = 0; K < It->numUses(); ++K)
+            It->setUse(K, Resolve(It->use(K)));
+          if (It->isCopy() && It->def(0) == It->use(0)) {
+            It = Insts.erase(It);
+            ++Stats.NumMovesRemoved;
+          } else {
+            ++It;
+          }
+        }
+      }
+
+      // Maintain the dense liveness exactly: project the renames onto the
+      // sets, then recompute the survivors (the only variables whose
+      // occurrences changed — victims now have none, and deleted
+      // identity moves mentioned only their survivor).
+      LV.applyRenames(RenameTo);
+      LV.recomputeValues(Survivors);
+
+      // The merged graph is both conservative and now stale; drop it (and
+      // the SSA query engine) but keep the maintained liveness — with
+      // verify-on-invalidate enabled this is cross-checked against a
+      // fresh dense analysis.
+      AM->invalidate(
+          PreservedAnalyses::cfgOnly().preserve(AnalysisKind::Liveness));
+    }
   }
 
   LAO_STAT(coalesce, runs) += 1;

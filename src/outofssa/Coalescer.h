@@ -9,17 +9,25 @@
 /// "repeated" register coalescer run on non-SSA code, outside any
 /// register-allocation context (so it ignores colorability). It removes
 /// every move whose operands do not interfere by merging them, and stops
-/// at a fixpoint: no copy is mergeable under an exactly rebuilt
-/// interference graph.
+/// at a fixpoint: no copy is mergeable under an exact interference graph.
 ///
-/// mergeInto maintains the interference graph incrementally (a vertex
-/// merge unions the neighborhoods — conservative but safe), so the
-/// coalescer sweeps the copy list to a local fixpoint on one graph and
-/// only then pays for a CFG + liveness + interference rebuild, which is
-/// needed for exactness once moves have been deleted (liveness shrinks).
-/// The pre-optimization behavior — one sweep per rebuild — survives as
-/// CoalescerOptions::RebuildEveryRound for A/B testing; both reach the
-/// same fixpoint condition.
+/// The schedule avoids paying for a dense liveness + full interference
+/// graph more than once per call:
+///
+///  1. a cheap *confirm scan* tests just the remaining copy pairs against
+///     the current (exact) liveness, reproducing the graph constructor's
+///     edge rules — no graph is materialized;
+///  2. only when the scan proves a merge exists is a full graph built;
+///     the sweep then merges to a local fixpoint on that graph
+///     (mergeInto unions neighborhoods — conservative but safe);
+///  3. after renames are applied and identity moves deleted, the dense
+///     liveness is maintained *exactly* in place (Liveness::applyRenames
+///     + recomputeValues on the survivors) instead of being recomputed,
+///     and the loop returns to step 1.
+///
+/// The pre-optimization behavior — full rebuild after every sweep —
+/// survives as CoalescerOptions::RebuildEveryRound; the equivalence tests
+/// pin the optimized schedule to identical results.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +37,8 @@
 #include "ir/Function.h"
 
 namespace lao {
+
+class AnalysisManager;
 
 struct CoalescerOptions {
   /// Reference mode: rebuild the analyses after every merge sweep (the
@@ -44,15 +54,25 @@ struct CoalescerStats {
   /// Total interference-graph node merges (proportional to the cost the
   /// paper's compile-time discussion attributes to this phase).
   unsigned NumMerges = 0;
-  /// Full CFG/liveness/interference reconstructions — the expensive part
-  /// the optimized schedule amortizes over many sweeps.
+  /// Full interference-graph constructions — the expensive part the
+  /// optimized schedule amortizes (and, when the confirm scan proves the
+  /// fixpoint, skips entirely).
   unsigned NumRebuilds = 0;
+  /// Graph-free fixpoint checks over the remaining copy pairs.
+  unsigned NumConfirmScans = 0;
 };
 
 /// Runs aggressive repeated coalescing on non-SSA \p F (no phis; parallel
 /// copies must have been sequentialized).
+///
+/// When \p AM is provided it supplies the CFG and dense liveness, and on
+/// return its Liveness is still cached and *valid* (the coalescer
+/// maintains it exactly through every rename/deletion); the interference
+/// graph and liveness-query entries are invalidated. Passing nullptr uses
+/// a private manager.
 CoalescerStats coalesceAggressively(Function &F,
-                                    const CoalescerOptions &Opts = {});
+                                    const CoalescerOptions &Opts = {},
+                                    AnalysisManager *AM = nullptr);
 
 } // namespace lao
 

@@ -17,27 +17,31 @@ using namespace lao;
 namespace {
 
 /// Abstract state of the mark phase: for each resource class
-/// representative, the SSA variable whose value it currently holds.
-/// InvalidReg as a mapped value means "unknown / conflicting" (bottom);
-/// an absent key means the resource was never written on some path.
-using HolderMap = std::map<RegId, RegId>;
+/// representative, the SSA variable whose value it currently holds,
+/// stored densely (indexed by representative id). Two sentinels:
+/// BottomHolder (== InvalidReg, "conflicting values") and AbsentHolder
+/// ("never written on some path"). They are distinct lattice points —
+/// absent-meet-absent stays absent while any disagreement bottoms out —
+/// but both mean "not holding anything" to queries.
+using HolderState = std::vector<RegId>;
 
-/// Pointwise merge: key union; values must agree, otherwise bottom.
-HolderMap mergeStates(const std::vector<const HolderMap *> &Preds) {
-  HolderMap Result;
+constexpr RegId BottomHolder = InvalidReg;
+constexpr RegId AbsentHolder = InvalidReg - 1;
+
+/// Pointwise merge: slots must agree, otherwise bottom. (The dense
+/// encoding makes the old map semantics uniform: a key missing from one
+/// map and present in another — with any value — disagrees, hence
+/// bottom; missing everywhere stays absent.)
+HolderState mergeStates(const std::vector<const HolderState *> &Preds,
+                        size_t NumSlots) {
   if (Preds.empty())
-    return Result;
-  Result = *Preds[0];
+    return HolderState(NumSlots, AbsentHolder);
+  HolderState Result = *Preds[0];
   for (size_t K = 1; K < Preds.size(); ++K) {
-    const HolderMap &P = *Preds[K];
-    for (auto &[Res, Var] : Result) {
-      auto It = P.find(Res);
-      if (It == P.end() || It->second != Var)
-        Var = InvalidReg;
-    }
-    for (const auto &[Res, Var] : P)
-      if (!Result.count(Res))
-        Result[Res] = InvalidReg;
+    const HolderState &P = *Preds[K];
+    for (size_t I = 0; I < NumSlots; ++I)
+      if (Result[I] != P[I])
+        Result[I] = BottomHolder;
   }
   return Result;
 }
@@ -65,7 +69,7 @@ private:
   size_t NumOrigValues;
   OutOfSSAStats Stats;
 
-  std::vector<HolderMap> In, Out;
+  std::vector<HolderState> In, Out;
   std::vector<bool> Visited;
   std::set<RegId> RepairNeeded;
   std::map<RegId, RegId> RepairVar;
@@ -75,15 +79,16 @@ private:
     return Ctx.resourceOf(V);
   }
 
-  static RegId holderOf(const HolderMap &S, RegId Res) {
-    auto It = S.find(Res);
-    return It == S.end() ? InvalidReg : It->second;
+  static RegId holderOf(const HolderState &S, RegId Res) {
+    RegId H = S[Res];
+    // BottomHolder already is InvalidReg; only Absent needs mapping.
+    return H == AbsentHolder ? InvalidReg : H;
   }
 
   /// Location of \p V's value under \p S: its resource if the resource
   /// still holds it, otherwise its repair variable. In mark mode a miss
   /// records the repair requirement instead.
-  RegId locOf(RegId V, const HolderMap &S, bool Rewrite) {
+  RegId locOf(RegId V, const HolderState &S, bool Rewrite) {
     if (F.isPhysical(V))
       return V;
     RegId Res = repOf(V);
@@ -100,7 +105,7 @@ private:
 
   /// The parallel-copy state updates performed at the end of \p BB for
   /// the phis of its successors.
-  void applyPhiCopyUpdates(const BasicBlock *BB, HolderMap &S) {
+  void applyPhiCopyUpdates(const BasicBlock *BB, HolderState &S) {
     for (BasicBlock *Succ : BB->successors())
       for (const Instruction &I : Succ->instructions()) {
         if (!I.isPhi())
@@ -111,7 +116,7 @@ private:
 
   /// Transfer function used by the dataflow solve (no queries, no
   /// rewriting — state effects only; must mirror replayBlock exactly).
-  HolderMap transfer(const BasicBlock *BB, HolderMap S) {
+  HolderState transfer(const BasicBlock *BB, HolderState S) {
     for (const Instruction &I : BB->instructions()) {
       if (I.isPhi()) {
         S[repOf(I.def(0))] = I.def(0);
@@ -130,26 +135,28 @@ private:
 
   void solve() {
     size_t NB = F.numBlocks();
-    In.assign(NB, HolderMap());
-    Out.assign(NB, HolderMap());
+    In.assign(NB, HolderState(NumOrigValues, AbsentHolder));
+    Out.assign(NB, HolderState(NumOrigValues, AbsentHolder));
     Visited.assign(NB, false);
+
+    // The entry has an implicit "function start" path on which no
+    // resource holds anything; merging the empty state bottoms out
+    // any values flowing around a loop back to the entry.
+    const HolderState EmptyState(NumOrigValues, AbsentHolder);
+    std::vector<const HolderState *> PredOuts;
 
     bool Changed = true;
     while (Changed) {
       Changed = false;
       for (BasicBlock *BB : Cfg.rpo()) {
-        std::vector<const HolderMap *> PredOuts;
-        // The entry has an implicit "function start" path on which no
-        // resource holds anything; merging the empty state bottoms out
-        // any values flowing around a loop back to the entry.
-        static const HolderMap EmptyState;
+        PredOuts.clear();
         if (BB == &F.entry())
           PredOuts.push_back(&EmptyState);
         for (BasicBlock *P : Cfg.preds(BB))
           if (Visited[P->id()])
             PredOuts.push_back(&Out[P->id()]);
-        HolderMap NewIn = mergeStates(PredOuts);
-        HolderMap NewOut = transfer(BB, NewIn);
+        HolderState NewIn = mergeStates(PredOuts, NumOrigValues);
+        HolderState NewOut = transfer(BB, NewIn);
         if (!Visited[BB->id()] || NewIn != In[BB->id()] ||
             NewOut != Out[BB->id()]) {
           Changed = true;
@@ -187,7 +194,7 @@ private:
 
   void replayBlock(BasicBlock *BB, bool Rewrite,
                    BasicBlock::InstList &NewList) {
-    HolderMap S = In[BB->id()];
+    HolderState S = In[BB->id()];
     std::vector<RegId> PendingPhiRepairs;
     bool InPhiGroup = true;
 

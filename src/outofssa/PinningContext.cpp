@@ -11,7 +11,7 @@
 using namespace lao;
 
 PinningContext::PinningContext(const Function &F, const CFG &Cfg,
-                               const DominatorTree &DT, const Liveness &LV,
+                               const DominatorTree &DT, const LivenessQuery &LV,
                                InterferenceMode Mode)
     : F(F), Cfg(Cfg), DT(DT), LV(LV), Mode(Mode) {
   size_t N = F.numValues();

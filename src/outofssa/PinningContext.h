@@ -26,7 +26,7 @@
 #define LAO_OUTOFSSA_PINNINGCONTEXT_H
 
 #include "analysis/Dominators.h"
-#include "analysis/Liveness.h"
+#include "analysis/LivenessQuery.h"
 #include "ir/Function.h"
 #include "support/UnionFind.h"
 
@@ -61,7 +61,7 @@ struct DefSite {
 class PinningContext {
 public:
   PinningContext(const Function &F, const CFG &Cfg, const DominatorTree &DT,
-                 const Liveness &LV,
+                 const LivenessQuery &LV,
                  InterferenceMode Mode = InterferenceMode::Precise);
 
   const Function &func() const { return F; }
@@ -125,7 +125,7 @@ private:
   const Function &F;
   const CFG &Cfg;
   const DominatorTree &DT;
-  const Liveness &LV;
+  const LivenessQuery &LV;
   InterferenceMode Mode;
 
   mutable UnionFind Classes;

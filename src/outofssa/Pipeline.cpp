@@ -6,6 +6,7 @@
 
 #include "outofssa/Pipeline.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/LoopInfo.h"
 #include "ir/CFG.h"
 #include "outofssa/Constraints.h"
@@ -84,45 +85,55 @@ PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
     pinCSSAWebs(F);
   }
 
+  // One analysis manager for the rest of the pipeline: the passes above
+  // add blocks and edges, everything below only rewrites instructions
+  // inside existing blocks, so CFG / dominators / loop info are computed
+  // once and every pass declares what else it preserved.
+  AnalysisManager AM(F);
+
   {
     std::optional<ScopedTimer> Analysis(std::in_place, R.Timings,
                                         "pin-analysis");
-    CFG Cfg(F);
-    DominatorTree DT(Cfg);
-    Liveness LV(Cfg);
-    PinningContext Ctx(F, Cfg, DT, LV, Config.Mode);
+    PinningContext Ctx(F, AM.cfg(), AM.domTree(), AM.livenessQuery(),
+                       Config.Mode);
     Analysis.reset();
     if (Config.PinPhi) {
       ScopedTimer T(R.Timings, "phi-coalescing");
-      LoopInfo LI(Cfg, DT);
-      R.Phi = coalescePhis(F, Ctx, Cfg, LI, Config.PhiOpts);
+      R.Phi = coalescePhis(F, Ctx, AM.cfg(), AM.loopInfo(), Config.PhiOpts);
+      // Phi-coalescing only merges pinning classes; nothing is stale.
+      AM.invalidate(PreservedAnalyses::all());
     }
     {
       ScopedTimer T(R.Timings, "translate");
-      R.Translate = translateOutOfSSA(F, Ctx, Cfg);
+      R.Translate = translateOutOfSSA(F, Ctx, AM.cfg());
     }
   }
+  // Translation replaced the instruction lists (blocks and branch targets
+  // are untouched): anything instruction-derived is stale.
+  AM.invalidate(PreservedAnalyses::cfgOnly());
   {
     ScopedTimer T(R.Timings, "sequentialize");
     sequentializeParallelCopies(F);
+    AM.invalidate(PreservedAnalyses::cfgOnly());
   }
 
   if (Config.NaiveABI) {
     ScopedTimer T(R.Timings, "naive-abi");
     lowerABINaively(F);
     sequentializeParallelCopies(F);
+    AM.invalidate(PreservedAnalyses::cfgOnly());
   }
 
   R.MovesBeforeCoalesce = countMoves(F);
 
   if (Config.Coalesce) {
     ScopedTimer T(R.Timings, "coalesce");
-    R.Coalescer = coalesceAggressively(F);
+    R.Coalescer = coalesceAggressively(F, {}, &AM);
   }
   R.CoalesceSeconds = R.Timings.seconds("coalesce");
 
   R.NumMoves = countMoves(F);
-  R.WeightedMoves = weightedMoveCount(F);
+  R.WeightedMoves = weightedMoveCount(F, AM);
   R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
   return R;
 }

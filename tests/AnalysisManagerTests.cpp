@@ -1,0 +1,221 @@
+//===- AnalysisManagerTests.cpp - Caching + invalidation contract ----------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The AnalysisManager contract: getters cache (same reference back until
+// invalidated), invalidate() honors the dependency cascade, and the
+// debug verifier catches passes that lie about what they preserved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/AnalysisManager.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace lao;
+using namespace lao::test;
+
+namespace {
+
+// Post-translation (non-SSA) code: the interference graph asserts on
+// phis, and every analysis the manager serves is exercised after
+// translation anyway.
+std::unique_ptr<Function> makeDiamond() {
+  return parse(R"(
+func @f {
+entry:
+  input %a
+  %ten = make 10
+  %c = cmplt %a, %ten
+  branch %c, t, e
+t:
+  %x = addi %a, 1
+  %z = mov %x
+  jump j
+e:
+  %y = addi %a, 2
+  %z = mov %y
+  jump j
+j:
+  output %z
+  ret %z
+}
+)");
+}
+
+} // namespace
+
+TEST(AnalysisManager, GettersCacheUntilInvalidated) {
+  auto F = makeDiamond();
+  AnalysisManager AM(*F);
+  EXPECT_FALSE(AM.isCached(AnalysisKind::CFG));
+
+  const CFG *Cfg = &AM.cfg();
+  const DominatorTree *DT = &AM.domTree();
+  const LoopInfo *LI = &AM.loopInfo();
+  Liveness *LV = &AM.liveness();
+  const LivenessQuery *LQ = &AM.livenessQuery();
+  InterferenceGraph *IG = &AM.interference();
+  for (AnalysisKind K :
+       {AnalysisKind::CFG, AnalysisKind::DomTree, AnalysisKind::LoopInfo,
+        AnalysisKind::Liveness, AnalysisKind::LivenessQuery,
+        AnalysisKind::Interference})
+    EXPECT_TRUE(AM.isCached(K));
+
+  // Second request: the identical object, not a recomputation.
+  EXPECT_EQ(Cfg, &AM.cfg());
+  EXPECT_EQ(DT, &AM.domTree());
+  EXPECT_EQ(LI, &AM.loopInfo());
+  EXPECT_EQ(LV, &AM.liveness());
+  EXPECT_EQ(LQ, &AM.livenessQuery());
+  EXPECT_EQ(IG, &AM.interference());
+
+  // preserve-all keeps every entry cached.
+  AM.invalidate(PreservedAnalyses::all());
+  for (AnalysisKind K :
+       {AnalysisKind::CFG, AnalysisKind::Liveness, AnalysisKind::Interference})
+    EXPECT_TRUE(AM.isCached(K));
+}
+
+TEST(AnalysisManager, LazinessComputesNothingUnrequested) {
+  auto F = makeDiamond();
+  StatsSnapshot Before = StatsRegistry::instance().snapshot();
+  AnalysisManager AM(*F);
+  (void)AM.cfg();
+  StatsSnapshot D =
+      StatsRegistry::delta(Before, StatsRegistry::instance().snapshot());
+  EXPECT_EQ(D.count("liveness.analyses"), 0u);
+  EXPECT_EQ(D.count("interference.graphs_built"), 0u);
+  EXPECT_FALSE(AM.isCached(AnalysisKind::Liveness));
+  EXPECT_FALSE(AM.isCached(AnalysisKind::DomTree));
+}
+
+TEST(AnalysisManager, CfgOnlyDropsInstructionDerivedAnalyses) {
+  auto F = makeDiamond();
+  AnalysisManager AM(*F);
+  (void)AM.interference();
+  (void)AM.livenessQuery();
+  (void)AM.loopInfo();
+
+  AM.invalidate(PreservedAnalyses::cfgOnly());
+  EXPECT_TRUE(AM.isCached(AnalysisKind::CFG));
+  EXPECT_TRUE(AM.isCached(AnalysisKind::DomTree));
+  EXPECT_TRUE(AM.isCached(AnalysisKind::LoopInfo));
+  EXPECT_FALSE(AM.isCached(AnalysisKind::Liveness));
+  EXPECT_FALSE(AM.isCached(AnalysisKind::LivenessQuery));
+  EXPECT_FALSE(AM.isCached(AnalysisKind::Interference));
+}
+
+TEST(AnalysisManager, CascadeDropsDependents) {
+  auto F = makeDiamond();
+
+  // Dropping the CFG drops everything, even analyses the pass claimed to
+  // preserve (their cached copies reference the dead CFG).
+  {
+    AnalysisManager AM(*F);
+    (void)AM.interference();
+    AM.invalidate(PreservedAnalyses::none().preserve(AnalysisKind::Liveness));
+    EXPECT_FALSE(AM.isCached(AnalysisKind::CFG));
+    EXPECT_FALSE(AM.isCached(AnalysisKind::Liveness));
+    EXPECT_FALSE(AM.isCached(AnalysisKind::Interference));
+  }
+
+  // Dropping the dominator tree drops LoopInfo and LivenessQuery but
+  // leaves the dense Liveness (CFG-derived only) and its dependent graph.
+  {
+    AnalysisManager AM(*F);
+    (void)AM.interference();
+    (void)AM.livenessQuery();
+    (void)AM.loopInfo();
+    AM.invalidate(PreservedAnalyses::none()
+                      .preserve(AnalysisKind::CFG)
+                      .preserve(AnalysisKind::Liveness)
+                      .preserve(AnalysisKind::Interference));
+    EXPECT_TRUE(AM.isCached(AnalysisKind::CFG));
+    EXPECT_FALSE(AM.isCached(AnalysisKind::DomTree));
+    EXPECT_FALSE(AM.isCached(AnalysisKind::LoopInfo));
+    EXPECT_FALSE(AM.isCached(AnalysisKind::LivenessQuery));
+    EXPECT_TRUE(AM.isCached(AnalysisKind::Liveness));
+    EXPECT_TRUE(AM.isCached(AnalysisKind::Interference));
+  }
+
+  // Dropping Liveness drops the interference graph built from it.
+  {
+    AnalysisManager AM(*F);
+    (void)AM.interference();
+    AM.invalidate(PreservedAnalyses::cfgOnly()
+                      .preserve(AnalysisKind::LivenessQuery));
+    EXPECT_FALSE(AM.isCached(AnalysisKind::Liveness));
+    EXPECT_FALSE(AM.isCached(AnalysisKind::Interference));
+  }
+}
+
+TEST(AnalysisManager, VerifyPassesOnUntouchedFunction) {
+  auto F = makeDiamond();
+  AnalysisManager AM(*F);
+  (void)AM.interference();
+  (void)AM.livenessQuery();
+  (void)AM.loopInfo();
+  EXPECT_EQ(AM.verify(), "");
+}
+
+TEST(AnalysisManager, VerifyCatchesLyingPassInstructionEdit) {
+  // A "pass" rewrites a use (changing liveness) but claims it preserved
+  // everything. The cached Liveness is now wrong; verify() must say so.
+  auto F = makeDiamond();
+  AnalysisManager AM(*F);
+  (void)AM.liveness();
+
+  BasicBlock *T = F->blockByName("t");
+  ASSERT_NE(T, nullptr);
+  // %x = addi %a, 1  -->  %x = addi %c, 1: %a stops being live into t,
+  // %c starts.
+  Instruction &Add = T->front();
+  ASSERT_EQ(Add.numUses(), 1u);
+  Add.setUse(0, F->findValue("c"));
+
+  std::string Diag = AM.verify();
+  EXPECT_NE(Diag, "") << "stale cached liveness went undetected";
+  EXPECT_NE(Diag.find("iveness"), std::string::npos) << Diag;
+}
+
+TEST(AnalysisManager, VerifyCatchesLyingPassCfgEdit) {
+  // A "pass" retargets a branch but claims the CFG survived.
+  auto F = makeDiamond();
+  AnalysisManager AM(*F);
+  (void)AM.cfg();
+
+  BasicBlock *Entry = F->blockByName("entry");
+  BasicBlock *J = F->blockByName("j");
+  ASSERT_NE(Entry, nullptr);
+  ASSERT_NE(J, nullptr);
+  Entry->terminator().setTarget(1, J);
+
+  EXPECT_NE(AM.verify(), "") << "stale cached CFG went undetected";
+}
+
+TEST(AnalysisManager, HonestPassKeepsVerifyClean) {
+  // The coalescer-style contract: mutate, then report exactly what
+  // changed. After an honest invalidate the survivors re-verify clean.
+  auto F = makeDiamond();
+  AnalysisManager AM(*F);
+  (void)AM.liveness();
+  (void)AM.loopInfo();
+
+  BasicBlock *T = F->blockByName("t");
+  ASSERT_NE(T, nullptr);
+  Instruction &Add = T->front();
+  Add.setUse(0, F->findValue("c"));
+
+  // Honest: block structure survived, instruction-derived analyses did not.
+  AM.invalidate(PreservedAnalyses::cfgOnly());
+  EXPECT_EQ(AM.verify(), "");
+  // And a fresh request just recomputes.
+  (void)AM.liveness();
+  EXPECT_EQ(AM.verify(), "");
+}

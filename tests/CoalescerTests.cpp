@@ -6,6 +6,7 @@
 
 #include "TestUtil.h"
 
+#include "analysis/AnalysisManager.h"
 #include "analysis/InterferenceGraph.h"
 #include "analysis/Liveness.h"
 #include "ir/CFG.h"
@@ -255,6 +256,64 @@ TEST(Coalescer, AmortizedRebuildMatchesRebuildEveryRound) {
   // coalescer themselves, so both schedules get real work.
   CheckSuite(makeExamplesSuite(), "Lphi,ABI");
   CheckSuite(makeValccSuite(1), "Sphi");
+}
+
+TEST(Coalescer, MaintainsManagedLivenessExactly) {
+  // The AnalysisManager contract of coalesceAggressively: on return the
+  // manager's dense Liveness is still cached and exact (incrementally
+  // maintained through every merge and copy deletion), while the
+  // interference graph and liveness-query engine are dropped.
+  auto CheckSuite = [](const std::vector<Workload> &Suite,
+                       const char *Preset) {
+    for (const Workload &W : Suite) {
+      auto F = cloneFunction(*W.F);
+      runPipeline(*F, pipelinePreset(Preset));
+      AnalysisManager AM(*F);
+      (void)AM.liveness();
+      coalesceAggressively(*F, {}, &AM);
+      EXPECT_TRUE(AM.isCached(AnalysisKind::Liveness)) << W.Name;
+      EXPECT_FALSE(AM.isCached(AnalysisKind::Interference)) << W.Name;
+      EXPECT_FALSE(AM.isCached(AnalysisKind::LivenessQuery)) << W.Name;
+      EXPECT_EQ(AM.verify(), "") << W.Name;
+    }
+  };
+  CheckSuite(makeExamplesSuite(), "Lphi,ABI");
+  CheckSuite(makeValccSuite(1), "Sphi");
+}
+
+TEST(InterferenceGraph, NeighborsSortedAndMatrixConsistent) {
+  // The hybrid representation: adjacency lists are sorted ascending (a
+  // deterministic iteration order for RegAlloc), and every list entry
+  // agrees with the triangular bit matrix's interfere() answer — after
+  // construction and after merges.
+  auto CheckGraph = [](const InterferenceGraph &IG, size_t NumValues,
+                       const char *When) {
+    for (RegId A = 0; A < NumValues; ++A) {
+      const std::vector<RegId> &N = IG.neighbors(A);
+      for (size_t K = 0; K + 1 < N.size(); ++K)
+        EXPECT_LT(N[K], N[K + 1]) << When << ": unsorted neighbors of " << A;
+      for (RegId B : N)
+        EXPECT_TRUE(IG.interfere(A, B)) << When << ": list/matrix disagree";
+    }
+  };
+  for (const Workload &W : makeValccSuite(1)) {
+    auto F = cloneFunction(*W.F);
+    runPipeline(*F, pipelinePreset("Lphi,ABI"));
+    CFG Cfg(*F);
+    Liveness LV(Cfg);
+    InterferenceGraph IG(*F, LV);
+    CheckGraph(IG, F->numValues(), "fresh");
+    // Merge a few non-interfering pairs and re-check the invariants.
+    unsigned Merged = 0;
+    for (RegId A = 0; A < F->numValues() && Merged < 4; ++A)
+      for (RegId B = A + 1; B < F->numValues() && Merged < 4; ++B)
+        if (!IG.interfere(A, B) && !F->isPhysical(B)) {
+          IG.mergeInto(A, B);
+          ++Merged;
+          break;
+        }
+    CheckGraph(IG, F->numValues(), "post-merge");
+  }
 }
 
 TEST(NaiveABI, InsertsMovesAroundCall) {

@@ -28,7 +28,7 @@ OutOfSSAStats translate(Function &F,
   collectSPConstraints(F);
   CFG Cfg(F);
   DominatorTree DT(Cfg);
-  Liveness LV(Cfg);
+  LivenessQuery LV(Cfg, DT);
   PinningContext Ctx(F, Cfg, DT, LV, Mode);
   OutOfSSAStats Stats = translateOutOfSSA(F, Ctx, Cfg);
   sequentializeParallelCopies(F);
@@ -98,7 +98,7 @@ TEST(LeungGeorge, Figure3RepairAndElision) {
   splitCriticalEdges(*F);
   CFG Cfg(*F);
   DominatorTree DT(Cfg);
-  Liveness LV(Cfg);
+  LivenessQuery LV(Cfg, DT);
   PinningContext Ctx(*F, Cfg, DT, LV);
   OutOfSSAStats Stats = translateOutOfSSA(*F, Ctx, Cfg);
   sequentializeParallelCopies(*F);

@@ -248,6 +248,27 @@ TEST(SuiteRunner, ParallelTotalsBitIdenticalToSerial) {
   }
 }
 
+TEST(SuiteRunner, JsonReportDeterministicAcrossRuns) {
+  // Satellite guard for the analysis-substrate overhaul: running the same
+  // suite through two independent BenchReports yields byte-identical JSON
+  // once the wall-clock fields are excluded. This pins down determinism
+  // of the whole stack — pipeline, sorted interference neighbors, stats
+  // counters — not just of the headline move counts.
+  auto Suite = makeExamplesSuite();
+  auto Render = [&Suite] {
+    BenchReport Report;
+    for (const char *Preset : {"Lphi,ABI+C", "C,naiveABI+C"})
+      Report.totals("examples", Suite, pipelinePreset(Preset));
+    return Report.jsonString("determinism", /*IncludeTimings=*/false);
+  };
+  std::string First = Render();
+  std::string Second = Render();
+  EXPECT_EQ(First, Second);
+  // Sanity: the deterministic rendering really did drop the clocks.
+  EXPECT_EQ(First.find("seconds"), std::string::npos);
+  EXPECT_NE(First.find("\"moves\""), std::string::npos);
+}
+
 TEST(SuiteRunner, JsonReportMatchesTableNumbers) {
   // The --json acceptance criterion: the BenchReport serves the printed
   // tables and the JSON from one cached record, so re-querying returns

@@ -47,7 +47,7 @@ GainPair measure(Function &F) {
   {
     CFG Cfg(F);
     DominatorTree DT(Cfg);
-    Liveness LV(Cfg);
+    LivenessQuery LV(Cfg, DT);
     PinningContext Ctx(F, Cfg, DT, LV);
     OptimalGainResult Opt = optimalPhiGain(F, Ctx, Cfg);
     Result.Optimal = Opt.TotalGain;
@@ -56,7 +56,7 @@ GainPair measure(Function &F) {
   {
     CFG Cfg(F);
     DominatorTree DT(Cfg);
-    Liveness LV(Cfg);
+    LivenessQuery LV(Cfg, DT);
     LoopInfo LI(Cfg, DT);
     PinningContext Ctx(F, Cfg, DT, LV);
     // Pre-existing equal pairs do not count as achieved gain.

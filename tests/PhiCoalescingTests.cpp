@@ -27,13 +27,13 @@ namespace {
 struct Analyses {
   CFG Cfg;
   DominatorTree DT;
-  Liveness LV;
+  LivenessQuery LV;
   LoopInfo LI;
   PinningContext Ctx;
 
   explicit Analyses(Function &F,
                  InterferenceMode Mode = InterferenceMode::Precise)
-      : Cfg(F), DT(Cfg), LV(Cfg), LI(Cfg, DT), Ctx(F, Cfg, DT, LV, Mode) {}
+      : Cfg(F), DT(Cfg), LV(Cfg, DT), LI(Cfg, DT), Ctx(F, Cfg, DT, LV, Mode) {}
 };
 
 /// Split edges, pin SP+ABI, coalesce, translate, sequentialize; returns

@@ -29,12 +29,12 @@ namespace {
 struct Ctx {
   CFG Cfg;
   DominatorTree DT;
-  Liveness LV;
+  LivenessQuery LV;
   PinningContext P;
 
   explicit Ctx(Function &F,
                InterferenceMode Mode = InterferenceMode::Precise)
-      : Cfg(F), DT(Cfg), LV(Cfg), P(F, Cfg, DT, LV, Mode) {}
+      : Cfg(F), DT(Cfg), LV(Cfg, DT), P(F, Cfg, DT, LV, Mode) {}
 };
 
 } // namespace

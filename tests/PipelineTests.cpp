@@ -15,6 +15,7 @@
 
 #include "outofssa/MoveStats.h"
 #include "outofssa/Pipeline.h"
+#include "support/Stats.h"
 #include "workloads/Suites.h"
 
 #include <gtest/gtest.h>
@@ -171,6 +172,31 @@ TEST(Pipeline, PessimisticModeNeverBeatsPrecise) {
     Pessimistic += runPipeline(*B, CB).WeightedMoves;
   }
   EXPECT_LT(Precise, Pessimistic);
+}
+
+TEST(Pipeline, AnalysisBudgetOneDenseLivenessAndGraphPerRun) {
+  // The acceptance criterion of the analysis-substrate overhaul: a
+  // pipeline run performs at most one dense liveness analysis and at
+  // most one interference-graph construction per function (down from
+  // ~3x and ~2x when each consumer recomputed privately). Extra graph
+  // rebuilds may only happen when the coalescer's confirm scan proves a
+  // rebuild will merge something, which never exceeds one per run on
+  // top of the budget... so assert the hard <= runs bound directly.
+  auto Suite = makeValccSuite(1);
+  StatsSnapshot Before = StatsRegistry::instance().snapshot();
+  uint64_t Runs = 0;
+  for (const Workload &W : Suite)
+    for (const char *Preset : {"Lphi,ABI+C", "C,naiveABI+C"}) {
+      auto F = cloneFunction(*W.F);
+      runPipeline(*F, pipelinePreset(Preset));
+      ++Runs;
+    }
+  StatsSnapshot D =
+      StatsRegistry::delta(Before, StatsRegistry::instance().snapshot());
+  EXPECT_LE(D["liveness.analyses"], Runs);
+  EXPECT_LE(D["interference.graphs_built"], Runs);
+  EXPECT_LE(D["analysis.cfg_builds"], Runs);
+  EXPECT_LE(D["analysis.domtree_builds"], Runs);
 }
 
 TEST(Pipeline, ResultsAreDeterministic) {

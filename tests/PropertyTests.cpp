@@ -165,7 +165,7 @@ TEST_P(PropertySweep, PinningContextInvariants) {
   collectABIConstraints(*F);
   CFG Cfg(*F);
   DominatorTree DT(Cfg);
-  Liveness LV(Cfg);
+  LivenessQuery LV(Cfg, DT);
   PinningContext Ctx(*F, Cfg, DT, LV);
 
   std::set<RegId> SeenMembers;
