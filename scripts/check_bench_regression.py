@@ -1,23 +1,33 @@
 #!/usr/bin/env python3
 """Analysis-count regression check for the bench JSON output.
 
-Compares the per-(suite, config) analysis counters of a freshly
-generated BENCH_compiletime.json against the committed baseline. The
-checked counters count *computations* (dense liveness solves,
-interference-graph constructions, CFG/dominator builds), so the check is
-a pure counter diff: independent of machine speed, deterministic, and
-it fails the build whenever a change reintroduces a redundant analysis
-recomputation into the pipeline (see docs/ANALYSIS.md).
+Compares the per-(suite, config) records of a freshly generated
+BENCH_compiletime.json against the committed baseline. Three families of
+checks, all pure counter/measurement diffs: independent of machine
+speed, deterministic, and they fail the build whenever a change
+
+  1. reintroduces a redundant analysis recomputation or interference
+     work into the pipeline (decrease-only counters: dense liveness
+     solves, interference-graph constructions, CFG/dominator builds,
+     coalescer pair queries, class-interference sweep probes);
+  2. alters any pipeline *measurement* (moves, weighted moves,
+     pre-coalesce moves, coalescer merges must be bit-identical — the
+     class-interference engine is an exact replacement for the pairwise
+     scan, so results never move, see docs/ANALYSIS.md);
+  3. breaks the sweep engine's sublinearity: on the scale_n* suites the
+     engine's liveness-probe count must keep shrinking relative to the
+     pairwise bound (sum |A|*|B| per query) as functions grow.
 
 Usage: check_bench_regression.py <baseline.json> <fresh.json>
 
 A fresh count <= baseline passes (improvements update the committed
-baseline on the next reference run); a fresh count above baseline, or a
-(suite, config) record that exists in the baseline but not in the fresh
-output, fails. Stdlib only.
+baseline on the next reference run); a fresh count above baseline, a
+measurement differing at all, or a (suite, config) record that exists in
+the baseline but not in the fresh output, fails. Stdlib only.
 """
 
 import json
+import re
 import sys
 
 CHECKED_COUNTERS = (
@@ -25,14 +35,92 @@ CHECKED_COUNTERS = (
     "interference.graphs_built",
     "analysis.cfg_builds",
     "analysis.domtree_builds",
+    "phicoalesce.pair_queries",
+    "classinterf.probes",
 )
+
+# Must match the baseline exactly: the tentpole engine work (and any
+# future interference-path change) may only alter *how fast* verdicts
+# are computed, never the verdicts — and these measurements are pure
+# functions of the verdicts.
+IDENTICAL_FIELDS = (
+    "moves",
+    "weighted_moves",
+    "moves_before_coalesce",
+    "coalescer_merges",
+)
+
+# Sublinearity margin: the probes/pair_cost ratio of the largest scale_n*
+# suite must be at most 1/SUBLINEAR_FACTOR of the smallest one's. The
+# reference run measures a ~50x drop from scale_n40 to scale_n640; 4x
+# leaves ample headroom for workload-generator drift.
+SUBLINEAR_FACTOR = 4
 
 
 def records_by_key(doc):
     out = {}
     for rec in doc["records"]:
-        out[(rec["suite"], rec["config"])] = rec.get("counters", {})
+        out[(rec["suite"], rec["config"])] = rec
     return out
+
+
+def check_counters(baseline, fresh, failures):
+    compared = 0
+    for key, base_rec in sorted(baseline.items()):
+        if key not in fresh:
+            failures.append("%s/%s: record missing from fresh output" % key)
+            continue
+        base_counters = base_rec.get("counters", {})
+        fresh_counters = fresh[key].get("counters", {})
+        for name in CHECKED_COUNTERS:
+            base = base_counters.get(name, 0)
+            new = fresh_counters.get(name, 0)
+            compared += 1
+            if new > base:
+                failures.append(
+                    "%s/%s: %s regressed %d -> %d"
+                    % (key[0], key[1], name, base, new)
+                )
+        for name in IDENTICAL_FIELDS:
+            base = base_rec.get(name)
+            new = fresh[key].get(name)
+            compared += 1
+            if base != new:
+                failures.append(
+                    "%s/%s: measurement %s changed %r -> %r "
+                    "(must be bit-identical)"
+                    % (key[0], key[1], name, base, new)
+                )
+    return compared
+
+
+def check_sublinearity(fresh, failures):
+    """Engine probes must scale sublinearly in the pairwise bound."""
+    points = []
+    for (suite, config), rec in fresh.items():
+        m = re.match(r"scale_n(\d+)$", suite)
+        if not m:
+            continue
+        counters = rec.get("counters", {})
+        probes = counters.get("classinterf.probes", 0)
+        pair_cost = counters.get("classinterf.pair_cost", 0)
+        if probes and pair_cost:
+            points.append((int(m.group(1)), suite, config, probes, pair_cost))
+    if len(points) < 2:
+        return 0
+    points.sort()
+    _, s_suite, s_config, s_probes, s_cost = points[0]
+    _, l_suite, l_config, l_probes, l_cost = points[-1]
+    # ratio(largest) * FACTOR <= ratio(smallest), cross-multiplied to
+    # stay in integers.
+    if l_probes * s_cost * SUBLINEAR_FACTOR > l_cost * s_probes:
+        failures.append(
+            "sweep sublinearity lost: %s/%s probes/pair_cost %d/%d vs "
+            "%s/%s %d/%d (want a >= %dx ratio drop)"
+            % (s_suite, s_config, s_probes, s_cost, l_suite, l_config,
+               l_probes, l_cost, SUBLINEAR_FACTOR)
+        )
+    return len(points)
 
 
 def main(argv):
@@ -45,21 +133,8 @@ def main(argv):
         fresh = records_by_key(json.load(f))
 
     failures = []
-    compared = 0
-    for key, base_counters in sorted(baseline.items()):
-        if key not in fresh:
-            failures.append("%s/%s: record missing from fresh output" % key)
-            continue
-        fresh_counters = fresh[key]
-        for name in CHECKED_COUNTERS:
-            base = base_counters.get(name, 0)
-            new = fresh_counters.get(name, 0)
-            compared += 1
-            if new > base:
-                failures.append(
-                    "%s/%s: %s regressed %d -> %d"
-                    % (key[0], key[1], name, base, new)
-                )
+    compared = check_counters(baseline, fresh, failures)
+    scale_points = check_sublinearity(fresh, failures)
 
     if failures:
         print("bench regression check FAILED:")
@@ -67,8 +142,9 @@ def main(argv):
             print("  " + line)
         return 1
     print(
-        "bench regression check passed: %d counters across %d records"
-        % (compared, len(baseline))
+        "bench regression check passed: %d counters/measurements across "
+        "%d records, sweep sublinearity on %d scale points"
+        % (compared, len(baseline), scale_points)
     )
     return 0
 

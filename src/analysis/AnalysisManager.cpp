@@ -89,6 +89,11 @@ void AnalysisManager::invalidate(const PreservedAnalyses &PA) {
   bool DropLQ = DropDT || !PA.isPreserved(AnalysisKind::LivenessQuery);
   bool DropIG = DropLV || !PA.isPreserved(AnalysisKind::Interference);
 
+  bool Dropped = (DropIG && IG) || (DropLQ && LQ) || (DropLV && LV) ||
+                 (DropLI && LI) || (DropDT && DT) || (DropCFG && TheCFG);
+  if (Dropped)
+    ++Epoch;
+
   if (DropIG)
     IG.reset();
   if (DropLQ)

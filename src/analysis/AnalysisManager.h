@@ -100,6 +100,13 @@ public:
 
   bool isCached(AnalysisKind K) const;
 
+  /// Monotonic counter bumped whenever an invalidate() actually drops a
+  /// cached analysis. A holder of analysis references (e.g. the
+  /// PinningContext + its class-interference cache, which stay exact
+  /// only while the liveness they were built from is current) can record
+  /// the epoch at construction and assert it unchanged at use.
+  uint64_t epoch() const { return Epoch; }
+
   /// Drops every cached analysis the pass did not preserve, plus the
   /// dependency closure. When the verify-on-invalidate debug flag is on,
   /// first cross-checks the surviving entries against fresh recomputation
@@ -125,6 +132,7 @@ private:
   std::unique_ptr<Liveness> LV;
   std::unique_ptr<LivenessQuery> LQ;
   std::unique_ptr<InterferenceGraph> IG;
+  uint64_t Epoch = 0;
 
   static bool VerifyOnInvalidate;
 };

@@ -43,6 +43,29 @@ public:
   /// Depth of \p BB in the dominator tree (entry = 0; unreachable = 0).
   unsigned depth(const BasicBlock *BB) const { return Depth[BB->id()]; }
 
+  /// DFS preorder number of \p BB in the dominator tree (1-based; 0 for
+  /// unreachable blocks). Unique per reachable block, and ordered so that
+  /// a dominator always numbers lower than everything it dominates —
+  /// sorting defs by this key is the backbone of the dominance-order
+  /// class-interference sweep (outofssa/ClassInterference.h).
+  unsigned preorderNumber(const BasicBlock *BB) const {
+    return DfsIn[BB->id()];
+  }
+
+  /// Closing DFS clock of \p BB's dominator subtree: together with
+  /// preorderNumber it bounds the half-open preorder interval of the
+  /// blocks \p BB dominates (0 for unreachable blocks).
+  unsigned preorderLimit(const BasicBlock *BB) const {
+    return DfsOut[BB->id()];
+  }
+
+  /// O(1) tree-ancestor query: true when \p A is \p BB itself or a
+  /// dominator-tree ancestor of it. Identical to dominates(); the name
+  /// documents call sites that reason about tree shape, not dominance.
+  bool isAncestor(const BasicBlock *A, const BasicBlock *B) const {
+    return dominates(A, B);
+  }
+
   /// Children of \p BB in the dominator tree.
   const std::vector<BasicBlock *> &children(const BasicBlock *BB) const {
     return Children[BB->id()];

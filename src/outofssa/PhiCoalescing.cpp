@@ -83,11 +83,15 @@ AffinityGraph createAffinityGraph(const BasicBlock &BB, PinningContext &Ctx,
 /// Graph_InitialPruning: delete edges whose resources interfere.
 void initialPruning(AffinityGraph &G, PinningContext &Ctx,
                     PhiCoalescingStats &Stats) {
-  for (Edge &E : G.Edges)
-    if (!E.Deleted && Ctx.resourceInterfere(E.DefRes, E.ArgRes)) {
+  for (Edge &E : G.Edges) {
+    if (E.Deleted)
+      continue;
+    ++Stats.NumPairQueries;
+    if (Ctx.resourceInterfere(E.DefRes, E.ArgRes)) {
       E.Deleted = true;
       Stats.NumInitialPruned += E.Multiplicity;
     }
+  }
 }
 
 /// BipartiteGraph_pruning: weight, then greedily delete heaviest edges.
@@ -137,7 +141,10 @@ void bipartitePruning(Function &F, AffinityGraph &G, PinningContext &Ctx,
       } else {
         continue;
       }
-      if (FarA == FarB || !Ctx.resourceInterfere(FarA, FarB))
+      if (FarA == FarB)
+        continue;
+      ++Stats.NumPairQueries;
+      if (!Ctx.resourceInterfere(FarA, FarB))
         continue;
       EA.Weight += static_cast<int>(EB.Multiplicity);
       EB.Weight += static_cast<int>(EA.Multiplicity);
@@ -208,6 +215,7 @@ void mergeComponents(Function &F, AffinityGraph &G, PinningContext &Ctx,
         if (Tried.count(N) || Merged.count(N))
           continue;
         Tried.insert(N);
+        ++Stats.NumPairQueries;
         if (Ctx.resourceInterfere(Acc, N)) {
           ++Stats.NumSafetySkips;
           continue;
@@ -286,6 +294,7 @@ PhiCoalescingStats lao::coalescePhis(Function &F, PinningContext &Ctx,
             continue;
           if (Ctx.resourceOf(V) == Ctx.resourceOf(Pin))
             continue;
+          ++Stats.NumPairQueries;
           if (Ctx.resourceInterfere(V, Pin))
             continue;
           RegId Rep = Ctx.pinTogether(V, Pin);
@@ -339,6 +348,7 @@ PhiCoalescingStats lao::coalescePhis(Function &F, PinningContext &Ctx,
   LAO_STAT(phicoalesce, weight_pruned) += Stats.NumWeightPruned;
   LAO_STAT(phicoalesce, merges) += Stats.NumMerges;
   LAO_STAT(phicoalesce, safety_skips) += Stats.NumSafetySkips;
+  LAO_STAT(phicoalesce, pair_queries) += Stats.NumPairQueries;
   LAO_STAT(phicoalesce, gain) += Stats.TotalGain;
   return Stats;
 }

@@ -73,6 +73,8 @@ struct PhiCoalescingStats {
                                    ///< to the post coalescer.
   unsigned NumSafetySkips = 0;     ///< Vertices skipped by the merge-time
                                    ///< interference re-check (see below).
+  uint64_t NumPairQueries = 0;     ///< resourceInterfere class-pair
+                                   ///< queries issued (all phases).
   unsigned TotalGain = 0;          ///< Phi args sharing their result's
                                    ///< resource after coalescing.
 };

@@ -6,9 +6,20 @@
 
 #include "outofssa/PinningContext.h"
 
+#include "outofssa/ClassInterference.h"
+#include "support/Stats.h"
+
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace lao;
+
+bool PinningContext::SweepEngine = true;
+bool PinningContext::CrossCheckOracle = [] {
+  const char *E = std::getenv("LAO_CLASSINTERF_ORACLE");
+  return E && E[0] != '\0' && E[0] != '0';
+}();
 
 PinningContext::PinningContext(const Function &F, const CFG &Cfg,
                                const DominatorTree &DT, const LivenessQuery &LV,
@@ -17,7 +28,7 @@ PinningContext::PinningContext(const Function &F, const CFG &Cfg,
   size_t N = F.numValues();
   Classes.grow(N);
   Members.resize(N);
-  Killed.resize(N);
+  KilledMask.resize(N);
   PinSites.resize(N);
   Defs.resize(N);
 
@@ -52,11 +63,11 @@ PinningContext::PinningContext(const Function &F, const CFG &Cfg,
     }
   }
 
-  // Seed killed sets with self-kills (the lost-copy situation: a phi
+  // Seed the killed mask with self-kills (the lost-copy situation: a phi
   // result live out of a predecessor it does not flow through).
   for (RegId V = 0; V < N; ++V)
     if (Defs[V].Valid && variableKills(V, V))
-      Killed[V].insert(V);
+      KilledMask.set(V);
 
   // Build initial classes from def-operand pins (variable pinning given
   // by ABI/SP constraint collection).
@@ -67,6 +78,8 @@ PinningContext::PinningContext(const Function &F, const CFG &Cfg,
           pinTogether(I.def(K), I.defPin(K));
 }
 
+PinningContext::~PinningContext() = default;
+
 RegId PinningContext::pinTogether(RegId A, RegId B) {
   RegId RA = Classes.find(A), RB = Classes.find(B);
   if (RA == RB)
@@ -74,27 +87,27 @@ RegId PinningContext::pinTogether(RegId A, RegId B) {
   assert(!(F.isPhysical(RA) && F.isPhysical(RB)) &&
          "cannot merge two physical resources");
 
-  // Update killed sets: a member becomes killed if some member of the
-  // other side kills it (mandatory pinnings may introduce such kills;
-  // checked merges by construction only add kills of already-killed
-  // members, which is idempotent).
-  std::set<RegId> NewKilled;
+  // Update the killed mask: a member becomes killed if some member of
+  // the other side kills it (mandatory pinnings may introduce such
+  // kills; checked merges by construction only add kills of
+  // already-killed members, which is idempotent). Setting bits as we go
+  // is safe: neither variableKills nor pinSiteKills reads the mask.
   for (RegId X : Members[RA])
     for (RegId Y : Members[RB]) {
       if (variableKills(X, Y))
-        NewKilled.insert(Y);
+        KilledMask.set(Y);
       if (variableKills(Y, X))
-        NewKilled.insert(X);
+        KilledMask.set(X);
     }
   // Pin-copy kills across the merge.
   for (const PinSite &S : PinSites[RA])
     for (RegId Y : Members[RB])
       if (pinSiteKills(S, Y))
-        NewKilled.insert(Y);
+        KilledMask.set(Y);
   for (const PinSite &S : PinSites[RB])
     for (RegId X : Members[RA])
       if (pinSiteKills(S, X))
-        NewKilled.insert(X);
+        KilledMask.set(X);
 
   // Keep the physical register (if any) as the representative.
   RegId Keep = F.isPhysical(RB) ? RB : RA;
@@ -106,13 +119,12 @@ RegId PinningContext::pinTogether(RegId A, RegId B) {
   auto &Src = Members[Other];
   Dst.insert(Dst.end(), Src.begin(), Src.end());
   Src.clear();
-  Killed[Keep].insert(Killed[Other].begin(), Killed[Other].end());
-  Killed[Other].clear();
-  Killed[Keep].insert(NewKilled.begin(), NewKilled.end());
   auto &DstSites = PinSites[Keep];
   auto &SrcSites = PinSites[Other];
   DstSites.insert(DstSites.end(), SrcSites.begin(), SrcSites.end());
   SrcSites.clear();
+  if (Engine)
+    Engine->onMerge(RA, RB);
   return Rep;
 }
 
@@ -213,6 +225,25 @@ bool PinningContext::stronglyInterfere(RegId A, RegId B) const {
   return DA.I == DB.I;
 }
 
+bool PinningContext::pairwiseResourceInterfere(RegId RA, RegId RB) const {
+  ++NumPairwiseQueries;
+  for (RegId X : Members[RA]) {
+    if (!Defs[X].Valid)
+      continue;
+    for (RegId Y : Members[RB]) {
+      if (!Defs[Y].Valid)
+        continue;
+      if (!KilledMask.test(X) && variableKills(Y, X))
+        return true;
+      if (!KilledMask.test(Y) && variableKills(X, Y))
+        return true;
+      if (stronglyInterfere(X, Y))
+        return true;
+    }
+  }
+  return false;
+}
+
 bool PinningContext::resourceInterfere(RegId A, RegId B) const {
   RegId RA = Classes.find(A), RB = Classes.find(B);
   if (RA == RB)
@@ -220,21 +251,55 @@ bool PinningContext::resourceInterfere(RegId A, RegId B) const {
   if (F.isPhysical(RA) && F.isPhysical(RB))
     return true;
 
-  const auto &KilledA = Killed[RA];
-  const auto &KilledB = Killed[RB];
-  for (RegId X : Members[RA]) {
-    if (!Defs[X].Valid)
-      continue;
-    for (RegId Y : Members[RB]) {
-      if (!Defs[Y].Valid)
-        continue;
-      if (!KilledA.count(X) && variableKills(Y, X))
-        return true;
-      if (!KilledB.count(Y) && variableKills(X, Y))
-        return true;
-      if (stronglyInterfere(X, Y))
-        return true;
+  if (!SweepEngine)
+    return pairwiseResourceInterfere(RA, RB);
+  if (!Engine)
+    Engine = std::make_unique<ClassInterference>(*this, Cfg, DT, LV);
+  if (!Engine->usable())
+    return pairwiseResourceInterfere(RA, RB);
+
+  bool Verdict = Engine->interfere(RA, RB);
+  if (CrossCheckOracle) {
+    bool Reference = pairwiseResourceInterfere(RA, RB);
+    if (Reference != Verdict) {
+      std::fprintf(stderr,
+                   "lao: fatal: class-interference oracle mismatch in "
+                   "'%s': classes %u / %u, engine=%d pairwise=%d\n",
+                   F.name().c_str(), RA, RB, int(Verdict), int(Reference));
+      std::abort();
     }
   }
-  return false;
+  return Verdict;
+}
+
+PinningContext::InterferenceReport PinningContext::interferenceReport() const {
+  InterferenceReport R;
+  size_t N = F.numValues();
+  for (RegId V = 0; V < N; ++V) {
+    if (Classes.find(V) != V || Members[V].empty())
+      continue;
+    size_t Size = Members[V].size();
+    // Size-1 classes only matter when the sole member is a real
+    // definition or a machine register; skip never-defined value slots.
+    if (Size == 1 && !Defs[V].Valid && !F.isPhysical(V))
+      continue;
+    ++R.NumClasses;
+    unsigned Bucket = Size <= 2   ? static_cast<unsigned>(Size - 1)
+                      : Size <= 4 ? 2u
+                      : Size <= 8 ? 3u
+                      : Size <= 16 ? 4u
+                                   : 5u;
+    ++R.SizeHist[Bucket];
+  }
+  R.PairwiseQueries = NumPairwiseQueries;
+  if (Engine && Engine->usable()) {
+    const ClassInterference::Counters &C = Engine->counters();
+    R.EngineUsed = true;
+    R.Queries = C.Queries;
+    R.CacheHits = C.CacheHits;
+    R.CacheEvictions = C.CacheEvictions;
+    R.Probes = C.Probes;
+    R.PairCost = C.PairCost;
+  }
+  return R;
 }

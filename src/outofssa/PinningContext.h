@@ -28,12 +28,15 @@
 #include "analysis/Dominators.h"
 #include "analysis/LivenessQuery.h"
 #include "ir/Function.h"
+#include "support/BitVector.h"
 #include "support/UnionFind.h"
 
-#include <set>
+#include <memory>
 #include <vector>
 
 namespace lao {
+
+class ClassInterference;
 
 /// How Class 1 kills are detected (paper Algorithm 4).
 enum class InterferenceMode {
@@ -63,6 +66,7 @@ public:
   PinningContext(const Function &F, const CFG &Cfg, const DominatorTree &DT,
                  const LivenessQuery &LV,
                  InterferenceMode Mode = InterferenceMode::Precise);
+  ~PinningContext();
 
   const Function &func() const { return F; }
 
@@ -76,11 +80,15 @@ public:
     return Members[Classes.find(R)];
   }
 
-  /// Variables of the class of \p R already killed within it (the
-  /// paper's Resource_killed, maintained incrementally across merges).
-  const std::set<RegId> &killedWithin(RegId R) const {
-    return Killed[Classes.find(R)];
-  }
+  /// True if \p V is already killed within its class (the paper's
+  /// Resource_killed, maintained incrementally across merges). Classes
+  /// are disjoint and a kill never leaves its class, so "killed within
+  /// its class" is a per-value property: one flat bit vector replaces
+  /// the old per-class hashed sets on the resourceInterfere hot path.
+  bool isKilled(RegId V) const { return KilledMask.test(V); }
+
+  /// The flat killed mask over all values (bit V == isKilled(V)).
+  const BitVector &killedMask() const { return KilledMask; }
 
   /// Merges the classes of \p A and \p B. The caller must have verified
   /// the merge (resourceInterfere(A, B) == false) unless the pinning is
@@ -110,6 +118,39 @@ public:
 
   InterferenceMode mode() const { return Mode; }
 
+  /// Process-wide switch for the dominance-ordered sweep engine
+  /// (outofssa/ClassInterference.h) behind resourceInterfere. On by
+  /// default; off falls back to the paper-literal O(|A|*|B|) pairwise
+  /// scan. Set before any parallel pipeline runs (plain flag, same
+  /// pattern as AnalysisManager::setVerifyOnInvalidate).
+  static void setSweepEngineEnabled(bool On) { SweepEngine = On; }
+  static bool sweepEngineEnabled() { return SweepEngine; }
+
+  /// When on, every engine verdict is cross-checked against the pairwise
+  /// scan and a mismatch aborts the process — the debug oracle the CI
+  /// Debug job runs on all suites. Also enabled by setting the
+  /// LAO_CLASSINTERF_ORACLE environment variable to a non-zero value.
+  static void setCrossCheckOracle(bool On) { CrossCheckOracle = On; }
+  static bool crossCheckOracle() { return CrossCheckOracle; }
+
+  /// Field-diagnosis summary for lao-opt --interference-stats: the
+  /// class-size histogram of the current class partition plus the
+  /// engine's cache/probe counters.
+  struct InterferenceReport {
+    uint64_t NumClasses = 0;  ///< Classes counted in SizeHist.
+    uint64_t SizeHist[6] = {0, 0, 0, 0, 0, 0}; ///< Members: 1, 2, 3-4,
+                                               ///< 5-8, 9-16, >= 17.
+    uint64_t Queries = 0;       ///< Uncached engine computations.
+    uint64_t CacheHits = 0;
+    uint64_t CacheEvictions = 0;
+    uint64_t Probes = 0;        ///< Sweep liveness probes.
+    uint64_t PairCost = 0;      ///< Pairwise probe bound (sum |A|*|B|).
+    uint64_t PairwiseQueries = 0; ///< Queries the pairwise scan served
+                                  ///< (engine off or unusable).
+    bool EngineUsed = false;
+  };
+  InterferenceReport interferenceReport() const;
+
 private:
   /// A use operand pinned to (the class of) some resource: the
   /// reconstruction places a copy into that resource right before the
@@ -130,15 +171,29 @@ private:
 
   mutable UnionFind Classes;
   std::vector<std::vector<RegId>> Members;    ///< Indexed by representative.
-  std::vector<std::set<RegId>> Killed;        ///< Indexed by representative.
+  BitVector KilledMask;                       ///< Flat, indexed by value.
   std::vector<std::vector<PinSite>> PinSites; ///< Indexed by representative.
   std::vector<DefSite> Defs;
+
+  /// The dominance-ordered sweep engine, built lazily at the first
+  /// resourceInterfere query (mutable: queries are const, memoization is
+  /// not). Null until then, and never built when the engine is disabled.
+  mutable std::unique_ptr<ClassInterference> Engine;
+  mutable uint64_t NumPairwiseQueries = 0;
+
+  static bool SweepEngine;
+  static bool CrossCheckOracle;
 
   bool defDominates(RegId A, RegId B) const;
   bool liveAtDef(RegId V, const DefSite &D) const;
 
   /// True if the pin copy at \p S would clobber \p X's live value.
   bool pinSiteKills(const PinSite &S, RegId X) const;
+
+  /// The paper-literal O(|A|*|B|) member-pair scan over two distinct
+  /// representatives: the fallback for functions the engine cannot
+  /// handle, and the cross-check oracle for those it can.
+  bool pairwiseResourceInterfere(RegId RA, RegId RB) const;
 };
 
 } // namespace lao

@@ -96,13 +96,23 @@ PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
                                         "pin-analysis");
     PinningContext Ctx(F, AM.cfg(), AM.domTree(), AM.livenessQuery(),
                        Config.Mode);
+    // Ctx (and its class-interference verdict cache) holds references
+    // into AM's CFG / dominators / liveness: they must stay cached for
+    // Ctx's whole lifetime. The epoch pins that contract.
+    uint64_t CtxEpoch = AM.epoch();
     Analysis.reset();
     if (Config.PinPhi) {
       ScopedTimer T(R.Timings, "phi-coalescing");
       R.Phi = coalescePhis(F, Ctx, AM.cfg(), AM.loopInfo(), Config.PhiOpts);
       // Phi-coalescing only merges pinning classes; nothing is stale.
       AM.invalidate(PreservedAnalyses::all());
+      assert(AM.epoch() == CtxEpoch &&
+             "phi-coalescing must preserve the analyses PinningContext and "
+             "its interference cache were built from");
     }
+    if (Config.CollectInterferenceStats)
+      R.Interference = Ctx.interferenceReport();
+    (void)CtxEpoch;
     {
       ScopedTimer T(R.Timings, "translate");
       R.Translate = translateOutOfSSA(F, Ctx, AM.cfg());

@@ -53,6 +53,10 @@ struct PipelineConfig {
   bool Coalesce = false;
   InterferenceMode Mode = InterferenceMode::Precise;
   PhiCoalescingOptions PhiOpts;
+  /// Capture PinningContext::interferenceReport() into
+  /// PipelineResult::Interference after phi-coalescing (lao-opt
+  /// --interference-stats). Off by default: the report walks all classes.
+  bool CollectInterferenceStats = false;
 };
 
 /// Returns the preset for \p Name (see header table), or std::nullopt
@@ -83,6 +87,9 @@ struct PipelineResult {
   CoalescerStats Coalescer;
   SreedharStats SreedharInfo;
   unsigned MovesBeforeCoalesce = 0;
+  /// Post-coalescing class-size histogram + interference-cache counters;
+  /// only filled when PipelineConfig::CollectInterferenceStats is set.
+  PinningContext::InterferenceReport Interference;
 };
 
 /// Runs the configured pipeline over \p F (mutating it from SSA to final

@@ -223,7 +223,7 @@ done:
   Ctx C(*F);
   RegId Y = F->findValue("y");
   EXPECT_TRUE(C.P.variableKills(Y, Y));
-  EXPECT_TRUE(C.P.killedWithin(Y).count(Y));
+  EXPECT_TRUE(C.P.isKilled(Y));
 }
 
 //===----------------------------------------------------------------------===//
@@ -411,7 +411,7 @@ entry:
   RegId A = F->findValue("a");
   // k1 is killed inside its own class (k2 redefines w while k1 lives);
   // the mandatory pin records it in Resource_killed.
-  EXPECT_EQ(C.P.killedWithin(K1).count(K1), 1u);
+  EXPECT_TRUE(C.P.isKilled(K1));
   // b is live across a's def: classes {b} and {a} interfere.
   EXPECT_TRUE(C.P.resourceInterfere(A, B));
 }
@@ -436,7 +436,7 @@ entry:
   // Mandatory merge of interfering x and y records the kill.
   EXPECT_TRUE(C.P.variableKills(Y, X));
   C.P.pinTogether(X, Y);
-  EXPECT_TRUE(C.P.killedWithin(X).count(X));
+  EXPECT_TRUE(C.P.isKilled(X));
 }
 
 TEST(ResourceInterfere, PhysicalKeepsRepresentative) {

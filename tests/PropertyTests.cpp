@@ -183,11 +183,15 @@ TEST_P(PropertySweep, PinningContextInvariants) {
       EXPECT_TRUE(SeenMembers.insert(M).second)
           << "value in two classes: " << F->valueName(M);
     }
-    // Killed set is a subset of the members.
-    for (RegId Kd : Ctx.killedWithin(V))
-      EXPECT_NE(std::find(Members.begin(), Members.end(), Kd),
-                Members.end());
   }
+
+  // Every killed bit of the flat mask marks a member of its own class.
+  Ctx.killedMask().forEach([&](size_t Kd) {
+    RegId V = static_cast<RegId>(Kd);
+    const auto &M = Ctx.members(Ctx.resourceOf(V));
+    EXPECT_NE(std::find(M.begin(), M.end(), V), M.end())
+        << "killed value outside its class: " << F->valueName(V);
+  });
 
   // Interference is symmetric over a sample of class pairs.
   std::vector<RegId> Reps;
