@@ -9,7 +9,8 @@ speed, deterministic, and they fail the build whenever a change
   1. reintroduces a redundant analysis recomputation or interference
      work into the pipeline (decrease-only counters: dense liveness
      solves, interference-graph constructions, CFG/dominator builds,
-     coalescer pair queries, class-interference sweep probes);
+     coalescer graph rebuilds and confirm scans, phi-coalescer pair
+     queries, class-interference sweep probes);
   2. alters any pipeline *measurement* (moves, weighted moves,
      pre-coalesce moves, coalescer merges must be bit-identical — the
      class-interference engine is an exact replacement for the pairwise
@@ -18,7 +19,12 @@ speed, deterministic, and they fail the build whenever a change
      engine's liveness-probe count must keep shrinking relative to the
      pairwise bound (sum |A|*|B| per query) as functions grow.
 
-Usage: check_bench_regression.py <baseline.json> <fresh.json>
+Usage: check_bench_regression.py <baseline.json> <fresh.json> \
+           [<baseline2.json> <fresh2.json> ...]
+
+Extra baseline/fresh pairs are checked with the same rules (CI passes
+both BENCH_compiletime.json and BENCH_regpressure.json); the
+sublinearity check only engages on files whose suites match scale_n*.
 
 A fresh count <= baseline passes (improvements update the committed
 baseline on the next reference run); a fresh count above baseline, a
@@ -37,17 +43,26 @@ CHECKED_COUNTERS = (
     "analysis.domtree_builds",
     "phicoalesce.pair_queries",
     "classinterf.probes",
+    # The zero-rebuild coalescer: one gate scan and at most one graph
+    # build per run; anything above the baseline means per-round
+    # reconstruction crept back in.
+    "coalesce.rebuilds",
+    "coalesce.confirm_scans",
 )
 
 # Must match the baseline exactly: the tentpole engine work (and any
 # future interference-path change) may only alter *how fast* verdicts
 # are computed, never the verdicts — and these measurements are pure
-# functions of the verdicts.
+# functions of the verdicts. Fields absent from both records (e.g. the
+# spill fields on compile-time records) compare as equal.
 IDENTICAL_FIELDS = (
     "moves",
     "weighted_moves",
     "moves_before_coalesce",
     "coalescer_merges",
+    "spills",
+    "spill_accesses",
+    "failures",
 )
 
 # Sublinearity margin: the probes/pair_cost ratio of the largest scale_n*
@@ -60,15 +75,26 @@ SUBLINEAR_FACTOR = 4
 def records_by_key(doc):
     out = {}
     for rec in doc["records"]:
-        out[(rec["suite"], rec["config"])] = rec
+        # Register-pressure records repeat each (suite, config) once per
+        # simulated register count; num_regs disambiguates them.
+        key = (rec["suite"], rec["config"])
+        if "num_regs" in rec:
+            key += (rec["num_regs"],)
+        out[key] = rec
     return out
+
+
+def key_str(key):
+    return "/".join(str(part) for part in key)
 
 
 def check_counters(baseline, fresh, failures):
     compared = 0
     for key, base_rec in sorted(baseline.items()):
         if key not in fresh:
-            failures.append("%s/%s: record missing from fresh output" % key)
+            failures.append(
+                "%s: record missing from fresh output" % key_str(key)
+            )
             continue
         base_counters = base_rec.get("counters", {})
         fresh_counters = fresh[key].get("counters", {})
@@ -78,8 +104,8 @@ def check_counters(baseline, fresh, failures):
             compared += 1
             if new > base:
                 failures.append(
-                    "%s/%s: %s regressed %d -> %d"
-                    % (key[0], key[1], name, base, new)
+                    "%s: %s regressed %d -> %d"
+                    % (key_str(key), name, base, new)
                 )
         for name in IDENTICAL_FIELDS:
             base = base_rec.get(name)
@@ -87,9 +113,9 @@ def check_counters(baseline, fresh, failures):
             compared += 1
             if base != new:
                 failures.append(
-                    "%s/%s: measurement %s changed %r -> %r "
+                    "%s: measurement %s changed %r -> %r "
                     "(must be bit-identical)"
-                    % (key[0], key[1], name, base, new)
+                    % (key_str(key), name, base, new)
                 )
     return compared
 
@@ -97,7 +123,8 @@ def check_counters(baseline, fresh, failures):
 def check_sublinearity(fresh, failures):
     """Engine probes must scale sublinearly in the pairwise bound."""
     points = []
-    for (suite, config), rec in fresh.items():
+    for key, rec in fresh.items():
+        suite, config = key[0], key[1]
         m = re.match(r"scale_n(\d+)$", suite)
         if not m:
             continue
@@ -124,17 +151,20 @@ def check_sublinearity(fresh, failures):
 
 
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) < 3 or len(argv) % 2 != 1:
         sys.stderr.write(__doc__)
         return 2
-    with open(argv[1]) as f:
-        baseline = records_by_key(json.load(f))
-    with open(argv[2]) as f:
-        fresh = records_by_key(json.load(f))
 
     failures = []
-    compared = check_counters(baseline, fresh, failures)
-    scale_points = check_sublinearity(fresh, failures)
+    compared = records = scale_points = 0
+    for i in range(1, len(argv), 2):
+        with open(argv[i]) as f:
+            baseline = records_by_key(json.load(f))
+        with open(argv[i + 1]) as f:
+            fresh = records_by_key(json.load(f))
+        compared += check_counters(baseline, fresh, failures)
+        scale_points += check_sublinearity(fresh, failures)
+        records += len(baseline)
 
     if failures:
         print("bench regression check FAILED:")
@@ -144,7 +174,7 @@ def main(argv):
     print(
         "bench regression check passed: %d counters/measurements across "
         "%d records, sweep sublinearity on %d scale points"
-        % (compared, len(baseline), scale_points)
+        % (compared, records, scale_points)
     )
     return 0
 

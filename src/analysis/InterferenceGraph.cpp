@@ -89,15 +89,67 @@ InterferenceGraph::InterferenceGraph(const Function &F, const Liveness &LV) {
     std::sort(List.begin(), List.end());
 }
 
-void InterferenceGraph::mergeInto(RegId A, RegId B) {
-  assert(A != B && "merging a node into itself");
-  // Steal B's neighbor list so addEdge below cannot observe B mid-update.
-  std::vector<RegId> BNbrs = std::move(Adj[B]);
-  Adj[B].clear();
-  for (RegId N : BNbrs) {
-    Matrix.reset(triIndex(B, N));
-    sortedErase(Adj[N], B);
-    if (N != A)
-      addEdge(A, N);
+namespace {
+
+/// Replaces \p Old by \p New in the sorted vector \p Vec with a single
+/// element shift, instead of an erase followed by a binary-search insert.
+/// \p New must not already be present.
+void replaceSorted(std::vector<RegId> &Vec, RegId Old, RegId New) {
+  auto OldIt = std::lower_bound(Vec.begin(), Vec.end(), Old);
+  assert(OldIt != Vec.end() && *OldIt == Old && "replacing a missing entry");
+  if (New > Old) {
+    auto Pos = std::lower_bound(OldIt + 1, Vec.end(), New);
+    std::move(OldIt + 1, Pos, OldIt);
+    *(Pos - 1) = New;
+  } else {
+    auto Pos = std::lower_bound(Vec.begin(), OldIt, New);
+    std::move_backward(Pos, OldIt, OldIt + 1);
+    *Pos = New;
   }
+}
+
+} // namespace
+
+void InterferenceGraph::mergeNodes(RegId Rep, RegId Dead) {
+  assert(Rep != Dead && "merging a node into itself");
+
+  // New Rep row first, while both old rows are intact: one merge-join of
+  // the two sorted lists, dropping the endpoints themselves (a Rep-Dead
+  // edge dies with the merge, and there are no self-edges).
+  std::vector<RegId> Merged;
+  Merged.reserve(Adj[Rep].size() + Adj[Dead].size());
+  {
+    auto A = Adj[Rep].begin(), AE = Adj[Rep].end();
+    auto B = Adj[Dead].begin(), BE = Adj[Dead].end();
+    while (A != AE || B != BE) {
+      RegId V;
+      if (B == BE || (A != AE && *A <= *B)) {
+        V = *A;
+        if (B != BE && *B == V)
+          ++B;
+        ++A;
+      } else {
+        V = *B++;
+      }
+      if (V != Dead && V != Rep)
+        Merged.push_back(V);
+    }
+  }
+
+  // Retire Dead's edges in the matrix and patch its neighbors' lists.
+  std::vector<RegId> DeadNbrs = std::move(Adj[Dead]);
+  Adj[Dead].clear();
+  for (RegId N : DeadNbrs) {
+    Matrix.reset(triIndex(Dead, N));
+    if (N == Rep)
+      continue;
+    size_t RepN = triIndex(Rep, N);
+    if (Matrix.test(RepN))
+      sortedErase(Adj[N], Dead); // Rep already present in Adj[N].
+    else {
+      Matrix.set(RepN);
+      replaceSorted(Adj[N], Dead, Rep);
+    }
+  }
+  Adj[Rep] = std::move(Merged);
 }

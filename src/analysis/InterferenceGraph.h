@@ -45,9 +45,33 @@ public:
     return Matrix.test(triIndex(A, B));
   }
 
+  /// Merges \p Dead into \p Rep in place: Rep's neighborhood becomes the
+  /// union of both, Dead's row empties, and every third node's adjacency
+  /// list is patched. O(deg(Rep) + deg(Dead)) — the new Rep row is one
+  /// merge-join of two sorted lists, and each of Dead's neighbors gets a
+  /// single in-place shift (no per-edge binary-search insert). The
+  /// `neighbors()` sortedness invariant is preserved throughout, so
+  /// order-sensitive clients see the same deterministic iteration they
+  /// would after a rebuild.
+  void mergeNodes(RegId Rep, RegId Dead);
+
   /// Merges \p B into \p A: A acquires all of B's edges. Used after
   /// coalescing a move (a simple vertex-merge, as Section 3.5 notes).
-  void mergeInto(RegId A, RegId B);
+  /// Synonym for mergeNodes, kept for the historical call sites.
+  void mergeInto(RegId A, RegId B) { mergeNodes(A, B); }
+
+  /// Removes the edge {A, B}. The incremental coalescer uses this when
+  /// its round-boundary repair scan proves a unioned edge is not present
+  /// in the exact graph of the rewritten program.
+  void removeEdge(RegId A, RegId B) {
+    assert(A != B && "no self-edges");
+    size_t Idx = triIndex(A, B);
+    if (!Matrix.test(Idx))
+      return;
+    Matrix.reset(Idx);
+    sortedErase(Adj[A], B);
+    sortedErase(Adj[B], A);
+  }
 
   size_t numNodes() const { return Adj.size(); }
 

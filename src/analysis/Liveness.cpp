@@ -130,27 +130,24 @@ void Liveness::applyRenames(const std::vector<RegId> &RenameTo) {
       V = RenameTo[V];
     return V;
   };
-  std::vector<RegId> Final(NV, InvalidReg);
-  bool Any = false;
-  for (RegId V = 0; V < RenameTo.size() && V < NV; ++V) {
-    if (RenameTo[V] != InvalidReg) {
-      Final[V] = Resolve(V);
-      Any = true;
-    }
-  }
-  if (!Any)
+  // Victim list once, then O(blocks x victims) instead of scanning every
+  // value id per block — merge rounds rename a handful of victims out of
+  // hundreds of values.
+  std::vector<std::pair<RegId, RegId>> Victims; // (victim, final survivor)
+  for (RegId V = 0; V < RenameTo.size() && V < NV; ++V)
+    if (RenameTo[V] != InvalidReg)
+      Victims.emplace_back(V, Resolve(V));
+  if (Victims.empty())
     return;
   for (size_t B = 0, NB = LiveIn.size(); B < NB; ++B) {
-    for (RegId V = 0; V < NV; ++V) {
-      if (Final[V] == InvalidReg)
-        continue;
+    for (auto [V, S] : Victims) {
       if (LiveIn[B].test(V)) {
         LiveIn[B].reset(V);
-        LiveIn[B].set(Final[V]);
+        LiveIn[B].set(S);
       }
       if (LiveOut[B].test(V)) {
         LiveOut[B].reset(V);
-        LiveOut[B].set(Final[V]);
+        LiveOut[B].set(S);
       }
     }
   }

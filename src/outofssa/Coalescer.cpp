@@ -10,19 +10,29 @@
 #include "analysis/InterferenceGraph.h"
 #include "analysis/Liveness.h"
 #include "ir/CFG.h"
+#include "ir/Clone.h"
+#include "ir/IRPrinter.h"
 #include "support/Stats.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 using namespace lao;
 
 namespace {
 
-/// Packs an unordered RegId pair into one hash/set key.
+bool oracleFromEnv() {
+  const char *E = std::getenv("LAO_COALESCE_ORACLE");
+  return E && *E && *E != '0';
+}
+
+bool CrossCheckOracle = oracleFromEnv();
+
+/// Packs an unordered RegId pair into one sortable/searchable key.
 uint64_t pairKey(RegId A, RegId B) {
   if (A < B)
     std::swap(A, B);
@@ -39,13 +49,17 @@ uint64_t pairKey(RegId A, RegId B) {
 /// candidate left unmarked is exactly a copy the sweep would merge on a
 /// fresh graph, so "any candidate unmarked" <=> "a rebuild would be
 /// productive".
+///
+/// Both working sets are sorted flat vectors: candidates are collected,
+/// sorted and uniqued once, then probed by binary search; marked pairs
+/// are appended freely and deduplicated once at the end. No per-element
+/// hashing or node allocation.
 bool anyCoalescableCopy(const Function &F, const Liveness &LV) {
   ++LAO_STAT(coalesce, confirm_scans);
 
   // Candidate pairs and, per register, its candidate partners (tiny
   // lists: only registers appearing in copies have any).
-  std::unordered_set<uint64_t> Candidates;
-  std::vector<std::vector<RegId>> Partners(F.numValues());
+  std::vector<uint64_t> Candidates;
   for (const auto &BB : F.blocks()) {
     for (const Instruction &I : BB->instructions()) {
       if (!I.isCopy())
@@ -55,26 +69,35 @@ bool anyCoalescableCopy(const Function &F, const Liveness &LV) {
         continue;
       if (F.isPhysical(D) && F.isPhysical(S))
         continue;
-      if (Candidates.insert(pairKey(D, S)).second) {
-        Partners[D].push_back(S);
-        Partners[S].push_back(D);
-      }
+      Candidates.push_back(pairKey(D, S));
     }
   }
   if (Candidates.empty())
     return false;
+  std::sort(Candidates.begin(), Candidates.end());
+  Candidates.erase(std::unique(Candidates.begin(), Candidates.end()),
+                   Candidates.end());
+
+  std::vector<std::vector<RegId>> Partners(F.numValues());
+  for (uint64_t Key : Candidates) {
+    RegId A = static_cast<RegId>(Key >> 32);
+    RegId B = static_cast<RegId>(Key & 0xffffffffu);
+    Partners[A].push_back(B);
+    Partners[B].push_back(A);
+  }
 
   // Mirror of the graph constructor's edge rules, restricted to a def's
   // candidate partners (everything else cannot affect the answer).
-  std::unordered_set<uint64_t> Interfering;
+  std::vector<uint64_t> Interfering;
   auto MarkDef = [&](RegId D, const BitVector &Live, RegId ExemptSrc) {
     for (RegId P : Partners[D])
       if (P != D && P != ExemptSrc && Live.test(P))
-        Interfering.insert(pairKey(D, P));
+        Interfering.push_back(pairKey(D, P));
   };
   auto MarkDefPair = [&](RegId A, RegId B) {
-    if (A != B && Candidates.count(pairKey(A, B)))
-      Interfering.insert(pairKey(A, B));
+    if (A != B && std::binary_search(Candidates.begin(), Candidates.end(),
+                                     pairKey(A, B)))
+      Interfering.push_back(pairKey(A, B));
   };
 
   for (const auto &BB : F.blocks()) {
@@ -117,13 +140,18 @@ bool anyCoalescableCopy(const Function &F, const Liveness &LV) {
         Live.set(U);
     }
   }
+  std::sort(Interfering.begin(), Interfering.end());
+  Interfering.erase(std::unique(Interfering.begin(), Interfering.end()),
+                    Interfering.end());
   return Interfering.size() < Candidates.size();
 }
 
 /// The pre-optimization schedule, kept verbatim as the reference for the
-/// equivalence tests: every iteration rebuilds CFG + liveness + graph and
-/// runs exactly one sweep.
-CoalescerStats coalesceRebuildingEveryRound(Function &F) {
+/// equivalence tests and the LAO_COALESCE_ORACLE cross-check: every
+/// iteration rebuilds CFG + liveness + graph and runs exactly one sweep.
+CoalescerStats
+coalesceRebuildingEveryRound(Function &F,
+                             std::vector<std::pair<RegId, RegId>> *TraceOut) {
   CoalescerStats Stats;
   for (;;) {
     ++Stats.NumRebuilds;
@@ -154,8 +182,10 @@ CoalescerStats coalesceRebuildingEveryRound(Function &F) {
           continue;
         RegId Survivor = F.isPhysical(S) ? S : D;
         RegId Victim = Survivor == D ? S : D;
-        IG.mergeInto(Survivor, Victim);
+        IG.mergeNodes(Survivor, Victim);
         RenameTo[Victim] = Survivor;
+        if (TraceOut)
+          TraceOut->emplace_back(Survivor, Victim);
         ++Stats.NumMerges;
         MergedOnThisGraph = true;
       }
@@ -183,7 +213,325 @@ CoalescerStats coalesceRebuildingEveryRound(Function &F) {
   return Stats;
 }
 
+/// Round-boundary repair: recomputes the rows of the dirty nodes — the
+/// survivors (and since-victimized survivors) of this round's merges —
+/// exactly, from the already-maintained liveness of the rewritten
+/// program. Staleness is confined to those rows (see the header's
+/// confinement lemmas), so removing each dirty row's unconfirmed edges
+/// restores the whole graph to exactness.
+void repairDirtyRows(const Function &F, const Liveness &LV,
+                     InterferenceGraph &IG, const BitVector &DirtyMask,
+                     const std::vector<RegId> &DirtyList,
+                     CoalescerStats &Stats) {
+  ++Stats.NumRepairScans;
+  size_t NV = F.numValues();
+  size_t ND = DirtyList.size();
+  std::vector<uint32_t> Slot(NV, UINT32_MAX);
+  for (size_t I = 0; I < ND; ++I)
+    Slot[DirtyList[I]] = static_cast<uint32_t>(I);
+  // Confirmed exact neighbors per dirty node, as bit rows: marking is
+  // idempotent, so the multi-def webs of out-of-SSA code (each def site
+  // of a neighbor re-confirms the same edge) cost one bit-set each
+  // instead of growing a duplicate-heavy list that needs sorting.
+  std::vector<BitVector> Exact(ND, BitVector(NV));
+
+  auto MarkPair = [&](RegId A, RegId B) {
+    if (Slot[A] != UINT32_MAX)
+      Exact[Slot[A]].set(B);
+    if (Slot[B] != UINT32_MAX)
+      Exact[Slot[B]].set(A);
+  };
+  // Def site: the constructor's edge rule, restricted to pairs with a
+  // dirty endpoint. A dirty def (rare: a def of a merge survivor) scans
+  // everything live across it. Clean defs — the overwhelming majority —
+  // only need the *dirty* subset of the live set, which the scan below
+  // maintains as a DirtyLive vector restricted to |dirty| slots: the
+  // per-def cost is one scan of |dirty|/64 words plus the actual hits,
+  // independent of the function's total value count.
+  BitVector DirtyLive(ND);
+  auto MarkDef = [&](RegId D, const BitVector &Live, RegId ExemptSrc) {
+    if (Slot[D] != UINT32_MAX) {
+      Live.forEach([&](size_t L) {
+        RegId R = static_cast<RegId>(L);
+        if (R != D && R != ExemptSrc)
+          MarkPair(D, R);
+      });
+    } else {
+      DirtyLive.forEach([&](size_t SlotIdx) {
+        RegId R = DirtyList[SlotIdx];
+        if (R != D && R != ExemptSrc)
+          Exact[SlotIdx].set(D);
+      });
+    }
+  };
+  auto LiveReset = [&](BitVector &Live, RegId V) {
+    Live.reset(V);
+    if (Slot[V] != UINT32_MAX)
+      DirtyLive.reset(Slot[V]);
+  };
+  auto LiveSet = [&](BitVector &Live, RegId V) {
+    Live.set(V);
+    if (Slot[V] != UINT32_MAX)
+      DirtyLive.set(Slot[V]);
+  };
+
+  for (const auto &BB : F.blocks()) {
+    BitVector Live = LV.liveOut(BB.get());
+    DirtyLive.clear();
+    for (size_t I = 0; I < ND; ++I)
+      if (Live.test(DirtyList[I]))
+        DirtyLive.set(I);
+    auto &Insts = BB->instructions();
+    for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+      const Instruction &I = *It;
+      if (I.isCopy()) {
+        RegId D = I.def(0), S = I.use(0);
+        LiveReset(Live, S);
+        MarkDef(D, Live, /*ExemptSrc=*/S);
+        LiveReset(Live, D);
+        LiveSet(Live, S);
+        continue;
+      }
+      if (I.isParCopy()) {
+        for (unsigned K = 0; K < I.numDefs(); ++K)
+          MarkDef(I.def(K), Live, /*ExemptSrc=*/I.use(K));
+        for (unsigned A = 0; A < I.numDefs(); ++A)
+          for (unsigned B = A + 1; B < I.numDefs(); ++B)
+            if (I.def(A) != I.def(B))
+              MarkPair(I.def(A), I.def(B));
+        for (RegId D : I.defs())
+          LiveReset(Live, D);
+        for (RegId U : I.uses())
+          LiveSet(Live, U);
+        continue;
+      }
+      for (RegId D : I.defs())
+        MarkDef(D, Live, /*ExemptSrc=*/InvalidReg);
+      for (unsigned A = 0; A < I.numDefs(); ++A)
+        for (unsigned B = A + 1; B < I.numDefs(); ++B)
+          if (I.def(A) != I.def(B))
+            MarkPair(I.def(A), I.def(B));
+      for (RegId D : I.defs())
+        LiveReset(Live, D);
+      for (RegId U : I.uses())
+        LiveSet(Live, U);
+    }
+  }
+
+  for (size_t I = 0; I < ND; ++I) {
+    RegId R = DirtyList[I];
+    // The maintained graph is conservative (exact edges are a subset of
+    // the unioned ones), so repairing a row only ever *removes* edges.
+    // Collect first: removeEdge mutates the row being walked.
+    std::vector<RegId> Stale;
+    const std::vector<RegId> &Row = IG.neighbors(R);
+    for (RegId N : Row)
+      if (!Exact[I].test(N))
+        Stale.push_back(N);
+    assert(Exact[I].count() == Row.size() - Stale.size() &&
+           "repair found an exact edge the unioned graph was missing");
+    for (RegId N : Stale)
+      IG.removeEdge(R, N);
+    Stats.NumStaleEdgesRemoved += static_cast<unsigned>(Stale.size());
+  }
+}
+
+/// The zero-rebuild worklist schedule (see the header for the exactness
+/// argument). \p ExpectTrace, when set, is the reference merge trace the
+/// oracle compares against, aborting on the first divergence.
+void coalesceWithWorklist(Function &F, AnalysisManager &AM,
+                          CoalescerStats &Stats,
+                          std::vector<std::pair<RegId, RegId>> *TraceOut,
+                          const std::vector<std::pair<RegId, RegId>> *ExpectTrace) {
+  Liveness &LV = AM.liveness();
+
+  // Graph-free gate first: most calls after the phi-coalescing
+  // configurations find nothing to merge and never build a graph.
+  ++Stats.NumConfirmScans;
+  if (!anyCoalescableCopy(F, LV))
+    return;
+
+  bool HadGraph = AM.isCached(AnalysisKind::Interference);
+  InterferenceGraph &IG = AM.interference();
+  if (!HadGraph)
+    ++Stats.NumRebuilds; // The one and only build of this call.
+
+  // The move worklist: every remaining candidate copy, in instruction
+  // order (matching the reference sweep order). Entries index Moves so
+  // deleted instructions can be retired without dangling pointers.
+  struct MoveRec {
+    Instruction *I;
+    bool Alive = true;
+  };
+  std::vector<MoveRec> Moves;
+  for (const auto &BB : F.blocks()) {
+    for (Instruction &I : BB->instructions()) {
+      if (!I.isCopy())
+        continue;
+      RegId D = I.def(0), S = I.use(0);
+      if (D == S)
+        continue;
+      if (F.isPhysical(D) && F.isPhysical(S))
+        continue;
+      Moves.push_back({&I});
+    }
+  }
+
+  std::vector<unsigned> Queue; // This round's pops, ascending move index.
+  Queue.reserve(Moves.size());
+  for (unsigned Idx = 0; Idx < Moves.size(); ++Idx)
+    Queue.push_back(Idx);
+  Stats.NumWorklistPushes += static_cast<unsigned>(Queue.size());
+
+  std::vector<unsigned> Deferred; // Blocked moves, ascending move index.
+  size_t NV = F.numValues();
+  std::vector<RegId> RenameTo(NV, InvalidReg);
+  auto Resolve = [&](RegId V) {
+    while (RenameTo[V] != InvalidReg)
+      V = RenameTo[V];
+    return V;
+  };
+  BitVector DirtyMask(NV);
+  std::vector<RegId> DirtyList;
+  unsigned TraceIdx = 0;
+
+  while (!Queue.empty()) {
+    ++Stats.NumRounds;
+    Stats.MaxWorklistDepth = std::max(
+        Stats.MaxWorklistDepth, static_cast<unsigned>(Queue.size()));
+    unsigned MergesThisRound = 0;
+
+    for (unsigned Idx : Queue) {
+      ++Stats.NumWorklistPops;
+      const MoveRec &M = Moves[Idx];
+      assert(M.Alive && "a dead move stayed enqueued");
+      RegId D = Resolve(M.I->def(0));
+      RegId S = Resolve(M.I->use(0));
+      if (D == S)
+        continue; // Became an identity; deleted at the boundary.
+      if (F.isPhysical(D) && F.isPhysical(S))
+        continue; // Cannot merge two machine registers; dropped for good.
+      if (IG.interfere(D, S)) {
+        Deferred.push_back(Idx);
+        continue;
+      }
+      RegId Survivor = F.isPhysical(S) ? S : D;
+      RegId Victim = Survivor == D ? S : D;
+      IG.mergeNodes(Survivor, Victim);
+      RenameTo[Victim] = Survivor;
+      if (!DirtyMask.test(Survivor)) {
+        DirtyMask.set(Survivor);
+        DirtyList.push_back(Survivor);
+      }
+      if (TraceOut)
+        TraceOut->emplace_back(Survivor, Victim);
+      if (ExpectTrace) {
+        if (TraceIdx >= ExpectTrace->size() ||
+            (*ExpectTrace)[TraceIdx] != std::make_pair(Survivor, Victim)) {
+          std::fprintf(
+              stderr,
+              "LAO_COALESCE_ORACLE: merge %u diverged: worklist merged "
+              "(v%u <- v%u), rebuild-every-round merged %s\n",
+              TraceIdx, Survivor, Victim,
+              TraceIdx < ExpectTrace->size()
+                  ? (std::string("(v") +
+                     std::to_string((*ExpectTrace)[TraceIdx].first) + " <- v" +
+                     std::to_string((*ExpectTrace)[TraceIdx].second) + ")")
+                        .c_str()
+                  : "nothing (trace exhausted)");
+          std::abort();
+        }
+        ++TraceIdx;
+      }
+      ++Stats.NumMerges;
+      ++MergesThisRound;
+    }
+    assert(MergesThisRound > 0 &&
+           "every scheduled round must merge at least once");
+    Stats.RoundMerges.push_back(MergesThisRound);
+
+    // Round boundary: apply the renames, drop identity moves (retiring
+    // their worklist entries), and maintain the dense liveness exactly.
+    std::vector<RegId> Survivors;
+    for (RegId V = 0; V < NV; ++V)
+      if (RenameTo[V] != InvalidReg)
+        Survivors.push_back(Resolve(V));
+    std::sort(Survivors.begin(), Survivors.end());
+    Survivors.erase(std::unique(Survivors.begin(), Survivors.end()),
+                    Survivors.end());
+
+    // Retire the records whose copies the rewrite below will erase as
+    // identities BEFORE touching the instructions: resolving the recorded
+    // operands needs no pointer map, and the erase loop then never has to
+    // map an instruction back to its record.
+    for (MoveRec &M : Moves)
+      if (M.Alive && Resolve(M.I->def(0)) == Resolve(M.I->use(0)))
+        M.Alive = false;
+    for (const auto &BB : F.blocks()) {
+      auto &Insts = BB->instructions();
+      for (auto It = Insts.begin(); It != Insts.end();) {
+        for (unsigned K = 0; K < It->numDefs(); ++K)
+          It->setDef(K, Resolve(It->def(K)));
+        for (unsigned K = 0; K < It->numUses(); ++K)
+          It->setUse(K, Resolve(It->use(K)));
+        if (It->isCopy() && It->def(0) == It->use(0)) {
+          It = Insts.erase(It);
+          ++Stats.NumMovesRemoved;
+        } else {
+          ++It;
+        }
+      }
+    }
+
+    LV.applyRenames(RenameTo);
+    LV.recomputeValues(Survivors);
+
+    // Restore G = exact graph of the rewritten program (dirty rows only).
+    repairDirtyRows(F, LV, IG, DirtyMask, DirtyList, Stats);
+
+    // Re-enqueue exactly the deferred moves whose operands alias a node
+    // merged this round and whose pair no longer interferes; clean pairs
+    // kept their (exact) edge, so they stay parked without a query.
+    std::sort(Deferred.begin(), Deferred.end());
+    Queue.clear();
+    std::vector<unsigned> StillDeferred;
+    for (unsigned Idx : Deferred) {
+      const MoveRec &M = Moves[Idx];
+      if (!M.Alive)
+        continue; // Deleted as an identity above.
+      RegId D = M.I->def(0), S = M.I->use(0); // Rewritten: already resolved.
+      assert(D != S && "identity copies are deleted, not deferred");
+      if (F.isPhysical(D) && F.isPhysical(S))
+        continue; // Permanently unmergeable.
+      if ((DirtyMask.test(D) || DirtyMask.test(S)) && !IG.interfere(D, S)) {
+        Queue.push_back(Idx);
+        ++Stats.NumRequeues;
+        ++Stats.NumWorklistPushes;
+      } else {
+        StillDeferred.push_back(Idx);
+      }
+    }
+    Deferred.swap(StillDeferred);
+
+    std::fill(RenameTo.begin(), RenameTo.end(), InvalidReg);
+    DirtyMask.clear();
+    DirtyList.clear();
+  }
+  // Worklist dry: every surviving copy pair carries an exact interference
+  // edge — the rebuild-every-round fixpoint condition.
+
+  if (ExpectTrace && TraceIdx != ExpectTrace->size()) {
+    std::fprintf(stderr,
+                 "LAO_COALESCE_ORACLE: worklist stopped after %u merges, "
+                 "rebuild-every-round performed %zu\n",
+                 TraceIdx, ExpectTrace->size());
+    std::abort();
+  }
+}
+
 } // namespace
+
+void lao::setCoalescerCrossCheckOracle(bool On) { CrossCheckOracle = On; }
 
 CoalescerStats lao::coalesceAggressively(Function &F,
                                          const CoalescerOptions &Opts,
@@ -191,100 +539,62 @@ CoalescerStats lao::coalesceAggressively(Function &F,
   CoalescerStats Stats;
 
   if (Opts.RebuildEveryRound) {
-    Stats = coalesceRebuildingEveryRound(F);
+    Stats = coalesceRebuildingEveryRound(F, Opts.TraceOut);
   } else {
     std::optional<AnalysisManager> LocalAM;
     if (!AM) {
       LocalAM.emplace(F);
       AM = &*LocalAM;
     }
-    Liveness &LV = AM->liveness();
 
-    // Graph-free check first: most calls after the phi-coalescing
-    // configurations find nothing to merge and never build a graph.
-    while (anyCoalescableCopy(F, LV)) {
-      ++Stats.NumRebuilds;
-      [[maybe_unused]] unsigned MergesBefore = Stats.NumMerges;
-      InterferenceGraph &IG = AM->interference();
+    std::optional<std::vector<std::pair<RegId, RegId>>> RefTrace;
+    std::string RefPrinted;
+    unsigned RefMovesRemoved = 0;
+    if (CrossCheckOracle) {
+      // Run the reference schedule on a clone first; the worklist run
+      // below then replays against its trace in lockstep.
+      auto Ref = cloneFunction(F);
+      RefTrace.emplace();
+      CoalescerStats RefStats = coalesceRebuildingEveryRound(*Ref, &*RefTrace);
+      RefPrinted = printFunction(*Ref);
+      RefMovesRemoved = RefStats.NumMovesRemoved;
+    }
 
-      // Lazily-applied rename map (victim -> survivor), chased on lookup.
-      std::vector<RegId> RenameTo(F.numValues(), InvalidReg);
-      auto Resolve = [&](RegId V) {
-        while (RenameTo[V] != InvalidReg)
-          V = RenameTo[V];
-        return V;
-      };
+    coalesceWithWorklist(F, *AM, Stats, Opts.TraceOut,
+                         RefTrace ? &*RefTrace : nullptr);
 
-      // Sweep the copy list to a fixpoint on this graph. After a merge
-      // the incrementally-maintained graph is conservative (neighborhoods
-      // are unioned), so every merge it allows is safe; copies it
-      // pessimistically blocks are retried after the next exact rebuild.
-      bool SweepMerged = true;
-      while (SweepMerged) {
-        SweepMerged = false;
-        ++Stats.NumRounds;
-        for (const auto &BB : F.blocks()) {
-          for (Instruction &I : BB->instructions()) {
-            if (!I.isCopy())
-              continue;
-            RegId D = Resolve(I.def(0));
-            RegId S = Resolve(I.use(0));
-            if (D == S)
-              continue; // Already an identity; removed below.
-            if (F.isPhysical(D) && F.isPhysical(S))
-              continue; // Cannot merge two machine registers.
-            if (IG.interfere(D, S))
-              continue;
-            RegId Survivor = F.isPhysical(S) ? S : D;
-            RegId Victim = Survivor == D ? S : D;
-            IG.mergeInto(Survivor, Victim);
-            RenameTo[Victim] = Survivor;
-            ++Stats.NumMerges;
-            SweepMerged = true;
-          }
-        }
+    if (Stats.NumMerges > 0) {
+      // The maintained liveness is exact, and the repaired graph is the
+      // exact graph of the final program; only the SSA-position query
+      // engine is stale. With verify-on-invalidate enabled both survivors
+      // are cross-checked against fresh recomputation here.
+      AM->invalidate(PreservedAnalyses::cfgOnly()
+                         .preserve(AnalysisKind::Liveness)
+                         .preserve(AnalysisKind::Interference));
+    }
+
+    if (CrossCheckOracle) {
+      if (Stats.NumMovesRemoved != RefMovesRemoved) {
+        std::fprintf(stderr,
+                     "LAO_COALESCE_ORACLE: moves removed mismatch: "
+                     "worklist %u, rebuild-every-round %u\n",
+                     Stats.NumMovesRemoved, RefMovesRemoved);
+        std::abort();
       }
-      assert(Stats.NumMerges > MergesBefore &&
-             "confirm scan promised a mergeable copy");
-
-      // Apply the renames and drop the moves that became identities.
-      std::vector<RegId> Survivors;
-      for (RegId V = 0; V < F.numValues(); ++V)
-        if (RenameTo[V] != InvalidReg)
-          Survivors.push_back(Resolve(V));
-      std::sort(Survivors.begin(), Survivors.end());
-      Survivors.erase(std::unique(Survivors.begin(), Survivors.end()),
-                      Survivors.end());
-
-      for (const auto &BB : F.blocks()) {
-        auto &Insts = BB->instructions();
-        for (auto It = Insts.begin(); It != Insts.end();) {
-          for (unsigned K = 0; K < It->numDefs(); ++K)
-            It->setDef(K, Resolve(It->def(K)));
-          for (unsigned K = 0; K < It->numUses(); ++K)
-            It->setUse(K, Resolve(It->use(K)));
-          if (It->isCopy() && It->def(0) == It->use(0)) {
-            It = Insts.erase(It);
-            ++Stats.NumMovesRemoved;
-          } else {
-            ++It;
-          }
-        }
+      if (printFunction(F) != RefPrinted) {
+        std::fprintf(stderr,
+                     "LAO_COALESCE_ORACLE: final IR mismatch\n"
+                     "--- worklist ---\n%s--- rebuild-every-round ---\n%s",
+                     printFunction(F).c_str(), RefPrinted.c_str());
+        std::abort();
       }
-
-      // Maintain the dense liveness exactly: project the renames onto the
-      // sets, then recompute the survivors (the only variables whose
-      // occurrences changed — victims now have none, and deleted
-      // identity moves mentioned only their survivor).
-      LV.applyRenames(RenameTo);
-      LV.recomputeValues(Survivors);
-
-      // The merged graph is both conservative and now stale; drop it (and
-      // the SSA query engine) but keep the maintained liveness — with
-      // verify-on-invalidate enabled this is cross-checked against a
-      // fresh dense analysis.
-      AM->invalidate(
-          PreservedAnalyses::cfgOnly().preserve(AnalysisKind::Liveness));
+      // A true fixpoint: no copy is mergeable under the exact liveness.
+      if (anyCoalescableCopy(F, AM->liveness())) {
+        std::fprintf(stderr,
+                     "LAO_COALESCE_ORACLE: worklist stopped before the "
+                     "fixpoint (a mergeable copy remains)\n");
+        std::abort();
+      }
     }
   }
 
@@ -293,5 +603,10 @@ CoalescerStats lao::coalesceAggressively(Function &F,
   LAO_STAT(coalesce, rebuilds) += Stats.NumRebuilds;
   LAO_STAT(coalesce, merges) += Stats.NumMerges;
   LAO_STAT(coalesce, moves_removed) += Stats.NumMovesRemoved;
+  LAO_STAT(coalesce, repair_scans) += Stats.NumRepairScans;
+  LAO_STAT(coalesce, worklist_pushes) += Stats.NumWorklistPushes;
+  LAO_STAT(coalesce, worklist_pops) += Stats.NumWorklistPops;
+  LAO_STAT(coalesce, worklist_requeues) += Stats.NumRequeues;
+  LAO_STAT(coalesce, stale_edges_removed) += Stats.NumStaleEdgesRemoved;
   return Stats;
 }

@@ -14,6 +14,7 @@
 #include "outofssa/NaiveABI.h"
 #include "support/Stats.h"
 
+#include <cassert>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -139,6 +140,15 @@ PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
   if (Config.Coalesce) {
     ScopedTimer T(R.Timings, "coalesce");
     R.Coalescer = coalesceAggressively(F, {}, &AM);
+    // The zero-rebuild coalescer maintains AM's dense liveness exactly
+    // through every merge round (and, when it merged, leaves its repaired
+    // interference graph cached and exact) — weightedMoveCount below and
+    // any later consumer keep riding the same cache.
+    assert(AM.isCached(AnalysisKind::Liveness) &&
+           "coalesceAggressively must preserve the managed liveness");
+    assert((R.Coalescer.NumMerges == 0 ||
+            AM.isCached(AnalysisKind::Interference)) &&
+           "coalesceAggressively must leave its repaired graph cached");
   }
   R.CoalesceSeconds = R.Timings.seconds("coalesce");
 

@@ -20,6 +20,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace lao;
 using namespace lao::test;
 
@@ -182,6 +184,9 @@ TEST(Pipeline, AnalysisBudgetOneDenseLivenessAndGraphPerRun) {
   // rebuilds may only happen when the coalescer's confirm scan proves a
   // rebuild will merge something, which never exceeds one per run on
   // top of the budget... so assert the hard <= runs bound directly.
+  if (const char *E = std::getenv("LAO_COALESCE_ORACLE"); E && *E && *E != '0')
+    GTEST_SKIP() << "the coalescer oracle's rebuild-every-round reference "
+                    "intentionally blows the analysis budget";
   auto Suite = makeValccSuite(1);
   StatsSnapshot Before = StatsRegistry::instance().snapshot();
   uint64_t Runs = 0;

@@ -26,6 +26,12 @@
 //                         print the pinning class-size histogram and the
 //                         class-interference cache hit rate (pipeline
 //                         runs only)
+//     --coalesce-stats    print the aggressive coalescer's worklist
+//                         profile: merges per round, graph builds vs
+//                         repair scans, push/pop/requeue traffic and the
+//                         peak worklist depth (pipeline runs only; the
+//                         same numbers reach --timing-json and the bench
+//                         JSON as coalesce.* counters)
 //     --timing-json=<f>   write per-pass timings + counters as JSON
 //
 //===----------------------------------------------------------------------===//
@@ -68,6 +74,7 @@ struct Options {
   bool Verify = false;
   bool Stats = false;
   bool InterferenceStats = false;
+  bool CoalesceStats = false;
   std::string TimingJson;
   std::vector<uint64_t> RunArgs;
   bool Run = false;
@@ -79,7 +86,8 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [--ssa] [--ifconvert] [--pipeline=<preset>] "
       "[--regalloc[=N]] [--run a,b,...] [--verify] [--stats] "
-      "[--interference-stats] [--timing-json=<file>] <file.lai|->\n",
+      "[--interference-stats] [--coalesce-stats] [--timing-json=<file>] "
+      "<file.lai|->\n",
       Argv0);
   return 2;
 }
@@ -116,6 +124,8 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.Stats = true;
     } else if (A == "--interference-stats") {
       Opts.InterferenceStats = true;
+    } else if (A == "--coalesce-stats") {
+      Opts.CoalesceStats = true;
     } else if (A.rfind("--timing-json=", 0) == 0) {
       Opts.TimingJson = A.substr(std::strlen("--timing-json="));
     } else if (!A.empty() && A[0] == '-' && A != "-") {
@@ -223,6 +233,26 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "\n  pairwise scans: %llu",
                      static_cast<unsigned long long>(IR.PairwiseQueries));
       std::fprintf(stderr, "\n");
+    }
+    if (Opts.CoalesceStats) {
+      const CoalescerStats &CS = R.Coalescer;
+      std::fprintf(stderr,
+                   "coalesce %s: %u merges in %u rounds, %u moves removed\n"
+                   "  graph: %u builds, %u repair scans, %u stale edges "
+                   "removed\n"
+                   "  worklist: %u pushes, %u pops, %u requeues, peak depth "
+                   "%u, %u confirm scans\n",
+                   F->name().c_str(), CS.NumMerges, CS.NumRounds,
+                   CS.NumMovesRemoved, CS.NumRebuilds, CS.NumRepairScans,
+                   CS.NumStaleEdgesRemoved, CS.NumWorklistPushes,
+                   CS.NumWorklistPops, CS.NumRequeues, CS.MaxWorklistDepth,
+                   CS.NumConfirmScans);
+      if (!CS.RoundMerges.empty()) {
+        std::fprintf(stderr, "  merges per round:");
+        for (unsigned M : CS.RoundMerges)
+          std::fprintf(stderr, " %u", M);
+        std::fprintf(stderr, "\n");
+      }
     }
     if (Opts.Stats)
       std::fprintf(stderr,
