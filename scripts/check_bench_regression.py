@@ -27,9 +27,15 @@ both BENCH_compiletime.json and BENCH_regpressure.json); the
 sublinearity check only engages on files whose suites match scale_n*.
 
 A fresh count <= baseline passes (improvements update the committed
-baseline on the next reference run); a fresh count above baseline, a
-measurement differing at all, or a (suite, config) record that exists in
-the baseline but not in the fresh output, fails. Stdlib only.
+baseline on the next reference run). Everything that could hide a
+regression fails loudly with the offending key named: a fresh count
+above baseline, a measurement differing at all, a (suite, config)
+record that exists in the baseline but not in the fresh output, a
+checked counter or measurement field present on one side but missing
+from the other, and bench files missing their top-level 'records' key
+or per-record 'suite'/'config' keys (malformed input is a failure,
+never a traceback). Exit status: 0 clean, 1 any failure, 2 usage.
+Stdlib only.
 """
 
 import json
@@ -72,9 +78,26 @@ IDENTICAL_FIELDS = (
 SUBLINEAR_FACTOR = 4
 
 
-def records_by_key(doc):
+class MalformedBench(Exception):
+    """A bench JSON file that cannot even be keyed.
+
+    Raised (and turned into a named failure by main) instead of letting
+    a KeyError traceback escape: a truncated or restructured bench file
+    must read as "this file is broken", never as "the check crashed".
+    """
+
+
+def records_by_key(doc, path):
+    if not isinstance(doc, dict) or "records" not in doc:
+        raise MalformedBench("%s: missing top-level 'records' key" % path)
     out = {}
-    for rec in doc["records"]:
+    for idx, rec in enumerate(doc["records"]):
+        for required in ("suite", "config"):
+            if required not in rec:
+                raise MalformedBench(
+                    "%s: record #%d missing required key '%s'"
+                    % (path, idx, required)
+                )
         # Register-pressure records repeat each (suite, config) once per
         # simulated register count; num_regs disambiguates them.
         key = (rec["suite"], rec["config"])
@@ -99,18 +122,37 @@ def check_counters(baseline, fresh, failures):
         base_counters = base_rec.get("counters", {})
         fresh_counters = fresh[key].get("counters", {})
         for name in CHECKED_COUNTERS:
+            compared += 1
+            # A checked counter the baseline has but the fresh run lost
+            # is itself a regression (a stat was renamed or its bump
+            # deleted) — defaulting it to 0 would silently pass the
+            # decrease-only comparison.
+            if name in base_counters and name not in fresh_counters:
+                failures.append(
+                    "%s: counter %s present in baseline but missing "
+                    "from fresh output" % (key_str(key), name)
+                )
+                continue
             base = base_counters.get(name, 0)
             new = fresh_counters.get(name, 0)
-            compared += 1
             if new > base:
                 failures.append(
                     "%s: %s regressed %d -> %d"
                     % (key_str(key), name, base, new)
                 )
         for name in IDENTICAL_FIELDS:
+            compared += 1
+            in_base = name in base_rec
+            in_fresh = name in fresh[key]
+            if in_base != in_fresh:
+                failures.append(
+                    "%s: measurement %s missing from %s output"
+                    % (key_str(key), name,
+                       "fresh" if in_base else "baseline")
+                )
+                continue
             base = base_rec.get(name)
             new = fresh[key].get(name)
-            compared += 1
             if base != new:
                 failures.append(
                     "%s: measurement %s changed %r -> %r "
@@ -158,10 +200,14 @@ def main(argv):
     failures = []
     compared = records = scale_points = 0
     for i in range(1, len(argv), 2):
-        with open(argv[i]) as f:
-            baseline = records_by_key(json.load(f))
-        with open(argv[i + 1]) as f:
-            fresh = records_by_key(json.load(f))
+        try:
+            with open(argv[i]) as f:
+                baseline = records_by_key(json.load(f), argv[i])
+            with open(argv[i + 1]) as f:
+                fresh = records_by_key(json.load(f), argv[i + 1])
+        except (MalformedBench, json.JSONDecodeError, OSError) as err:
+            failures.append(str(err))
+            continue
         compared += check_counters(baseline, fresh, failures)
         scale_points += check_sublinearity(fresh, failures)
         records += len(baseline)

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Selftest for check_bench_regression.py's failure modes.
+
+The checker is the CI gate that keeps the analysis-count baselines
+honest, so its *failure* paths need their own regression test: a gate
+that silently passes on malformed input is worse than no gate. Each case
+runs the checker in-process on synthetic bench documents and asserts
+both the exit status and that the offending key is named in the output.
+
+Run directly (no arguments) or via ctest; stdlib only.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_regression as cbr
+
+
+def bench_doc(records):
+    return {"records": records}
+
+
+def record(suite="valcc", config="Lphi,ABI+C", counters=None, **fields):
+    rec = {"suite": suite, "config": config, "moves": 10,
+           "weighted_moves": 20.0}
+    rec["counters"] = {"liveness.analyses": 5} if counters is None \
+        else counters
+    rec.update(fields)
+    return rec
+
+
+class CheckerHarness(unittest.TestCase):
+    def run_checker(self, baseline, fresh):
+        """Writes the two docs to temp files and runs main(). Returns
+        (exit_status, captured_stdout)."""
+        out = io.StringIO()
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            fresh_path = os.path.join(tmp, "fresh.json")
+            for path, doc in ((base_path, baseline), (fresh_path, fresh)):
+                with open(path, "w") as f:
+                    if isinstance(doc, str):
+                        f.write(doc)
+                    else:
+                        json.dump(doc, f)
+            with contextlib.redirect_stdout(out):
+                status = cbr.main(["prog", base_path, fresh_path])
+        return status, out.getvalue()
+
+    def assert_fails_naming(self, baseline, fresh, *needles):
+        status, out = self.run_checker(baseline, fresh)
+        self.assertEqual(status, 1, out)
+        self.assertIn("FAILED", out)
+        for needle in needles:
+            self.assertIn(needle, out)
+
+
+class TestCleanPass(CheckerHarness):
+    def test_identical_documents_pass(self):
+        doc = bench_doc([record()])
+        status, out = self.run_checker(doc, doc)
+        self.assertEqual(status, 0, out)
+        self.assertIn("passed", out)
+
+    def test_counter_decrease_passes(self):
+        base = bench_doc([record(counters={"liveness.analyses": 5})])
+        fresh = bench_doc([record(counters={"liveness.analyses": 3})])
+        status, out = self.run_checker(base, fresh)
+        self.assertEqual(status, 0, out)
+
+    def test_counter_absent_from_both_passes(self):
+        # Not every record carries every checked counter (regpressure
+        # records have no coalescer counters, say); absent on both
+        # sides is not a regression.
+        doc = bench_doc([record(counters={})])
+        status, out = self.run_checker(doc, doc)
+        self.assertEqual(status, 0, out)
+
+
+class TestCounterFailures(CheckerHarness):
+    def test_counter_increase_fails(self):
+        base = bench_doc([record(counters={"liveness.analyses": 5})])
+        fresh = bench_doc([record(counters={"liveness.analyses": 6})])
+        self.assert_fails_naming(base, fresh, "liveness.analyses",
+                                 "regressed 5 -> 6")
+
+    def test_counter_missing_from_fresh_fails(self):
+        # The bug this selftest exists for: a counter the baseline has
+        # but the fresh run lost must fail by name, not default to 0
+        # and slide through the decrease-only comparison.
+        base = bench_doc([record(counters={"liveness.analyses": 5})])
+        fresh = bench_doc([record(counters={})])
+        self.assert_fails_naming(
+            base, fresh, "liveness.analyses",
+            "present in baseline but missing from fresh")
+
+    def test_record_missing_from_fresh_fails(self):
+        base = bench_doc([record(suite="valcc"), record(suite="spec")])
+        fresh = bench_doc([record(suite="valcc")])
+        self.assert_fails_naming(base, fresh,
+                                 "record missing from fresh output",
+                                 "spec")
+
+
+class TestMeasurementFailures(CheckerHarness):
+    def test_measurement_change_fails(self):
+        base = bench_doc([record(moves=10)])
+        fresh = bench_doc([record(moves=11)])
+        self.assert_fails_naming(base, fresh, "moves",
+                                 "must be bit-identical")
+
+    def test_measurement_missing_from_fresh_fails(self):
+        base = bench_doc([record()])
+        fresh_rec = record()
+        del fresh_rec["moves"]
+        self.assert_fails_naming(base, bench_doc([fresh_rec]),
+                                 "measurement moves missing from fresh")
+
+    def test_measurement_missing_from_baseline_fails(self):
+        base_rec = record()
+        del base_rec["moves"]
+        self.assert_fails_naming(
+            bench_doc([base_rec]), bench_doc([record()]),
+            "measurement moves missing from baseline")
+
+
+class TestMalformedInput(CheckerHarness):
+    def test_missing_records_key_fails_cleanly(self):
+        self.assert_fails_naming({"suite": "valcc"}, bench_doc([record()]),
+                                 "missing top-level 'records' key")
+
+    def test_record_missing_suite_fails_cleanly(self):
+        rec = record()
+        del rec["suite"]
+        self.assert_fails_naming(bench_doc([rec]), bench_doc([record()]),
+                                 "missing required key 'suite'")
+
+    def test_record_missing_config_fails_cleanly(self):
+        rec = record()
+        del rec["config"]
+        self.assert_fails_naming(bench_doc([record()]), bench_doc([rec]),
+                                 "missing required key 'config'")
+
+    def test_invalid_json_fails_cleanly(self):
+        status, out = self.run_checker("{not json", bench_doc([record()]))
+        self.assertEqual(status, 1, out)
+        self.assertIn("FAILED", out)
+
+    def test_usage_error_is_distinct(self):
+        err = io.StringIO()
+        with contextlib.redirect_stderr(err):
+            self.assertEqual(cbr.main(["prog", "only-one.json"]), 2)
+
+
+class TestSublinearity(CheckerHarness):
+    def test_lost_sublinearity_fails(self):
+        def scale(n, probes, pair_cost):
+            return record(suite="scale_n%d" % n,
+                          counters={"classinterf.probes": probes,
+                                    "classinterf.pair_cost": pair_cost})
+        # Probes grow as fast as the pairwise bound: ratio never drops.
+        fresh = bench_doc([scale(40, 100, 1000), scale(640, 1600, 16000)])
+        base = fresh
+        self.assert_fails_naming(base, fresh, "sublinearity lost")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -19,7 +19,7 @@ bool AnalysisManager::VerifyOnInvalidate = false;
 const CFG &AnalysisManager::cfg() {
   if (!TheCFG) {
     ++LAO_STAT(analysis, cfg_builds);
-    TheCFG = std::make_unique<CFG>(F);
+    TheCFG = std::make_unique<CFG>(*F);
   }
   return *TheCFG;
 }
@@ -54,8 +54,22 @@ const LivenessQuery &AnalysisManager::livenessQuery() {
 
 InterferenceGraph &AnalysisManager::interference() {
   if (!IG)
-    IG = std::make_unique<InterferenceGraph>(F, liveness());
+    IG = std::make_unique<InterferenceGraph>(*F, liveness());
   return *IG;
+}
+
+void AnalysisManager::reset(Function &NewF) {
+  ++LAO_STAT(analysis, manager_resets);
+  bool Dropped = TheCFG || DT || LI || LV || LQ || IG;
+  if (Dropped)
+    ++Epoch;
+  IG.reset();
+  LQ.reset();
+  LV.reset();
+  LI.reset();
+  DT.reset();
+  TheCFG.reset();
+  F = &NewF;
 }
 
 bool AnalysisManager::isCached(AnalysisKind K) const {
@@ -120,13 +134,13 @@ void AnalysisManager::invalidate(const PreservedAnalyses &PA) {
 
 std::string AnalysisManager::verify() const {
   std::ostringstream Diag;
-  size_t NB = F.numBlocks();
+  size_t NB = F->numBlocks();
 
   if (TheCFG) {
     if (TheCFG->rpo().size() != NB)
       return "CFG stale: block count changed since it was built";
-    CFG Fresh(F);
-    for (const auto &BB : F.blocks()) {
+    CFG Fresh(*F);
+    for (const auto &BB : F->blocks()) {
       const auto &CachedSuccs = TheCFG->succs(BB.get());
       const auto &FreshSuccs = Fresh.succs(BB.get());
       if (CachedSuccs.size() != FreshSuccs.size()) {
@@ -148,7 +162,7 @@ std::string AnalysisManager::verify() const {
   }
   if (DT) {
     DominatorTree FreshDT(*TheCFG);
-    for (const auto &BB : F.blocks())
+    for (const auto &BB : F->blocks())
       if (DT->idom(BB.get()) != FreshDT.idom(BB.get())) {
         Diag << "DominatorTree stale: idom(b" << BB->id() << ") differs";
         return Diag.str();
@@ -156,7 +170,7 @@ std::string AnalysisManager::verify() const {
   }
   if (LI) {
     LoopInfo FreshLI(*TheCFG, *DT);
-    for (const auto &BB : F.blocks())
+    for (const auto &BB : F->blocks())
       if (LI->depth(BB.get()) != FreshLI.depth(BB.get()) ||
           LI->isHeader(BB.get()) != FreshLI.isHeader(BB.get())) {
         Diag << "LoopInfo stale: loop data of b" << BB->id() << " differs";
@@ -165,7 +179,7 @@ std::string AnalysisManager::verify() const {
   }
   if (LV) {
     Liveness FreshLV(*TheCFG);
-    for (const auto &BB : F.blocks())
+    for (const auto &BB : F->blocks())
       if (!(LV->liveIn(BB.get()) == FreshLV.liveIn(BB.get())) ||
           !(LV->liveOut(BB.get()) == FreshLV.liveOut(BB.get()))) {
         Diag << "Liveness stale: live sets of b" << BB->id() << " differ";
@@ -174,8 +188,8 @@ std::string AnalysisManager::verify() const {
   }
   if (LQ) {
     Liveness FreshLV(*TheCFG);
-    for (const auto &BB : F.blocks())
-      for (RegId V = 0; V < F.numValues(); ++V)
+    for (const auto &BB : F->blocks())
+      for (RegId V = 0; V < F->numValues(); ++V)
         if (LQ->isLiveIn(V, BB.get()) != FreshLV.isLiveIn(V, BB.get()) ||
             LQ->isLiveOut(V, BB.get()) != FreshLV.isLiveOut(V, BB.get())) {
           Diag << "LivenessQuery stale: v" << V << " at b" << BB->id()
@@ -189,8 +203,8 @@ std::string AnalysisManager::verify() const {
     // since construction: every fresh edge must be present. Missing
     // cached edges are the dangerous direction (unsound coalescing).
     Liveness FreshLV(*TheCFG);
-    InterferenceGraph FreshIG(F, FreshLV);
-    for (RegId A = 0; A < F.numValues(); ++A)
+    InterferenceGraph FreshIG(*F, FreshLV);
+    for (RegId A = 0; A < F->numValues(); ++A)
       for (RegId B : FreshIG.neighbors(A))
         if (B > A && !IG->interfere(A, B)) {
           Diag << "InterferenceGraph stale: missing edge v" << A << " -- v"

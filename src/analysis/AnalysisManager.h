@@ -87,9 +87,17 @@ private:
 /// invalidate() of that analysis.
 class AnalysisManager {
 public:
-  explicit AnalysisManager(Function &F) : F(F) {}
+  explicit AnalysisManager(Function &F) : F(&F) {}
 
-  Function &function() { return F; }
+  Function &function() { return *F; }
+
+  /// Rebinds the manager to \p NewF, dropping every cached analysis (the
+  /// epoch bumps if anything was cached). The manager object itself
+  /// survives — a compile-service worker keeps one manager alive and
+  /// resets it for each incoming function, so the reuse pattern is
+  /// construct-once, reset-per-request. Rebinding to the same function
+  /// is a full invalidation.
+  void reset(Function &NewF);
 
   const CFG &cfg();
   const DominatorTree &domTree();
@@ -125,7 +133,7 @@ public:
   static void setVerifyOnInvalidate(bool On) { VerifyOnInvalidate = On; }
 
 private:
-  Function &F;
+  Function *F;
   std::unique_ptr<CFG> TheCFG;
   std::unique_ptr<DominatorTree> DT;
   std::unique_ptr<LoopInfo> LI;

@@ -63,10 +63,27 @@ PipelineConfig lao::pipelinePreset(const std::string &Name) {
 }
 
 PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
+  AnalysisManager AM(F);
+  return runPipeline(F, Config, AM);
+}
+
+PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config,
+                                AnalysisManager &AM) {
   using Clock = std::chrono::steady_clock;
   PipelineResult R;
   auto Start = Clock::now();
   ++LAO_STAT(pipeline, runs);
+  auto CancelledAt = [&](const char *Phase) {
+    if (!Config.CancelCheck || !Config.CancelCheck())
+      return false;
+    ++LAO_STAT(pipeline, cancellations);
+    (void)Phase;
+    R.Cancelled = true;
+    R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
+    return true;
+  };
+  if (CancelledAt("start"))
+    return R;
 
   {
     ScopedTimer T(R.Timings, "split-critical-edges");
@@ -85,12 +102,16 @@ PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
     R.SreedharInfo = convertToCSSA(F);
     pinCSSAWebs(F);
   }
+  if (CancelledAt("front-phases"))
+    return R;
 
   // One analysis manager for the rest of the pipeline: the passes above
   // add blocks and edges, everything below only rewrites instructions
   // inside existing blocks, so CFG / dominators / loop info are computed
-  // once and every pass declares what else it preserved.
-  AnalysisManager AM(F);
+  // once and every pass declares what else it preserved. The manager may
+  // be a worker-owned one carrying caches from a previous request's
+  // function — reset rebinds it to F and drops them all.
+  AM.reset(F);
 
   {
     std::optional<ScopedTimer> Analysis(std::in_place, R.Timings,
@@ -122,6 +143,8 @@ PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
   // Translation replaced the instruction lists (blocks and branch targets
   // are untouched): anything instruction-derived is stale.
   AM.invalidate(PreservedAnalyses::cfgOnly());
+  if (CancelledAt("translate"))
+    return R;
   {
     ScopedTimer T(R.Timings, "sequentialize");
     sequentializeParallelCopies(F);
@@ -136,6 +159,8 @@ PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config) {
   }
 
   R.MovesBeforeCoalesce = countMoves(F);
+  if (CancelledAt("sequentialize"))
+    return R;
 
   if (Config.Coalesce) {
     ScopedTimer T(R.Timings, "coalesce");

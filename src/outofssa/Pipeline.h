@@ -37,10 +37,13 @@
 #include "outofssa/Sreedhar.h"
 #include "support/Timer.h"
 
+#include <functional>
 #include <optional>
 #include <string>
 
 namespace lao {
+
+class AnalysisManager;
 
 /// Which passes a pipeline run executes (see the table above).
 struct PipelineConfig {
@@ -57,6 +60,12 @@ struct PipelineConfig {
   /// PipelineResult::Interference after phi-coalescing (lao-opt
   /// --interference-stats). Off by default: the report walks all classes.
   bool CollectInterferenceStats = false;
+  /// Cooperative cancellation hook, polled between phases. When it
+  /// returns true the pipeline stops immediately and the result comes
+  /// back with Cancelled set; the function is left half-transformed and
+  /// must be discarded. The compile server's deadline enforcement plugs
+  /// in here — an empty function (the default) is never polled.
+  std::function<bool()> CancelCheck;
 };
 
 /// Returns the preset for \p Name (see header table), or std::nullopt
@@ -77,6 +86,7 @@ PipelineConfig pipelinePreset(const std::string &Name);
 ///
 /// Outcome of one pipeline run over one function.
 struct PipelineResult {
+  bool Cancelled = false;       ///< CancelCheck fired; all else invalid.
   unsigned NumMoves = 0;        ///< Residual moves (Tables 2-4 metric).
   uint64_t WeightedMoves = 0;   ///< 5^depth-weighted (Table 5 metric).
   double Seconds = 0.0;         ///< Wall time of the whole pipeline.
@@ -95,6 +105,14 @@ struct PipelineResult {
 /// Runs the configured pipeline over \p F (mutating it from SSA to final
 /// non-SSA code) and returns the measurements.
 PipelineResult runPipeline(Function &F, const PipelineConfig &Config);
+
+/// Same, but reusing the caller-owned \p AM instead of building a fresh
+/// manager: the pipeline rebinds it to \p F (AnalysisManager::reset)
+/// once the CFG-mutating front phases are done. This is the
+/// compile-service entry point — one long-lived manager per worker,
+/// reset per request, identical results to the one-shot overload.
+PipelineResult runPipeline(Function &F, const PipelineConfig &Config,
+                           AnalysisManager &AM);
 
 } // namespace lao
 

@@ -254,7 +254,8 @@ RegAllocResult lao::allocateRegisters(Function &F,
   std::map<RegId, int64_t> SlotOf;
   unsigned NextSlot = 0;
 
-  for (unsigned Round = 0; Round < 64; ++Round) {
+  unsigned MaxRounds = std::max(Opts.MaxRounds, 1u);
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
     ++Result.NumRounds;
     std::map<RegId, RegId> Color;
     std::vector<RegId> Spills;
@@ -290,6 +291,8 @@ RegAllocResult lao::allocateRegisters(Function &F,
       }
     insertSpillCode(F, Spills, SlotOf, NextSlot, NoSpill, Result);
   }
-  Result.Error = "register allocation did not converge";
+  Result.Error = formatStr(
+      "register allocation did not converge after %u spill rounds",
+      MaxRounds);
   return Result;
 }

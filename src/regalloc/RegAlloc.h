@@ -40,6 +40,14 @@ struct RegAllocOptions {
   /// R0..R7, P0..P3 in that order). Lowering this creates the "strong
   /// register pressure" regime of the paper's [LIM4].
   unsigned NumRegs = 12;
+  /// Hard cap on build/simplify/select rounds. Each round spills at
+  /// least one value, so convergence is the norm within a handful of
+  /// rounds; the cap turns any pathological pressure setting (or a
+  /// future spill-choice bug) into a structured
+  /// `RegAllocResult{Ok=false}` instead of an unbounded retry loop —
+  /// mandatory now that the allocator can run inside a long-lived
+  /// compile service. 0 is normalized to 1.
+  unsigned MaxRounds = 32;
 };
 
 struct RegAllocResult {

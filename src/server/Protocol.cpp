@@ -1,0 +1,214 @@
+//===- Protocol.cpp - lao-server wire protocol ---------------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <istream>
+
+using namespace lao;
+
+namespace {
+
+/// Parses a full decimal uint64 out of \p S. Returns false on empty,
+/// non-digit or overflowing input.
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (errno == ERANGE || End != S.c_str() + S.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Reads the declared body plus its trailing frame newline. Returns
+/// false on a truncated stream.
+bool readBody(std::istream &In, size_t N, std::string &Body) {
+  Body.resize(N);
+  if (N && !In.read(Body.data(), static_cast<std::streamsize>(N)))
+    return false;
+  if (In.peek() == '\n')
+    In.get();
+  return true;
+}
+
+/// Skips the declared body of an oversized frame without buffering it.
+bool skipBody(std::istream &In, size_t N) {
+  In.ignore(static_cast<std::streamsize>(N));
+  if (static_cast<size_t>(In.gcount()) != N)
+    return false;
+  if (In.peek() == '\n')
+    In.get();
+  return true;
+}
+
+/// Reads and parses a "LAO1 <kind> <id> <bytes>" header line, skipping
+/// blank lines before it. Returns Eof/Malformed/Ok.
+FrameStatus readHeader(std::istream &In, const char *Kind, uint64_t &Id,
+                       uint64_t &Bytes, std::string &ErrorOut) {
+  std::string Line;
+  for (;;) {
+    if (!std::getline(In, Line))
+      return FrameStatus::Eof;
+    if (!trimString(Line).empty())
+      break;
+  }
+  std::vector<std::string> Parts = splitString(Line, ' ');
+  if (Parts.size() != 4 || Parts[0] != "LAO1" || Parts[1] != Kind ||
+      !parseU64(Parts[2], Id) || !parseU64(Parts[3], Bytes)) {
+    ErrorOut = formatStr("bad %s frame header: '%s'", Kind, Line.c_str());
+    return FrameStatus::Malformed;
+  }
+  return FrameStatus::Ok;
+}
+
+/// Splits a frame body into its header block and payload at the first
+/// blank line. Returns false when the separator is missing.
+bool splitBody(const std::string &Body, std::string &Headers,
+               std::string &Payload) {
+  size_t Sep;
+  if (Body.rfind("\n", 0) == 0)
+    Sep = 0; // No header lines at all.
+  else if ((Sep = Body.find("\n\n")) != std::string::npos)
+    Sep += 1;
+  else
+    return false;
+  Headers = Body.substr(0, Sep);
+  Payload = Body.substr(Sep + 1);
+  return true;
+}
+
+} // namespace
+
+std::string lao::encodeRequest(const Request &R) {
+  std::string Body;
+  Body += "pipeline: " + R.Pipeline + "\n";
+  if (R.BuildSSA)
+    Body += "ssa: 1\n";
+  if (R.DeadlineMs)
+    Body += formatStr("deadline_ms: %llu\n",
+                      static_cast<unsigned long long>(R.DeadlineMs));
+  if (R.SleepMs)
+    Body += formatStr("sleep_ms: %llu\n",
+                      static_cast<unsigned long long>(R.SleepMs));
+  Body += "\n";
+  Body += R.Text;
+  return formatStr("LAO1 REQ %llu %zu\n",
+                   static_cast<unsigned long long>(R.Id), Body.size()) +
+         Body + "\n";
+}
+
+std::string lao::encodeResponse(const Response &R) {
+  std::string Body = R.RecordJson + "\n\n" + R.IR;
+  return formatStr("LAO1 RSP %llu %zu\n",
+                   static_cast<unsigned long long>(R.Id), Body.size()) +
+         Body + "\n";
+}
+
+FrameStatus lao::readRequest(std::istream &In, const FrameLimits &Limits,
+                             Request &Out, std::string &ErrorOut) {
+  ErrorOut.clear();
+  Out = Request();
+  uint64_t Bytes = 0;
+  FrameStatus S = readHeader(In, "REQ", Out.Id, Bytes, ErrorOut);
+  if (S != FrameStatus::Ok)
+    return S;
+  if (Bytes > Limits.MaxBodyBytes) {
+    if (!skipBody(In, Bytes)) {
+      ErrorOut = "truncated stream inside an oversized request body";
+      return FrameStatus::Malformed;
+    }
+    ErrorOut = formatStr("request body of %llu bytes exceeds the %zu-byte "
+                         "frame limit",
+                         static_cast<unsigned long long>(Bytes),
+                         Limits.MaxBodyBytes);
+    return FrameStatus::Oversized;
+  }
+  std::string Body;
+  if (!readBody(In, Bytes, Body)) {
+    ErrorOut = "truncated stream inside a request body";
+    return FrameStatus::Malformed;
+  }
+
+  std::string Headers, Payload;
+  if (!splitBody(Body, Headers, Payload)) {
+    ErrorOut = "request body has no blank line separating options from "
+               "the function text";
+    return FrameStatus::Ok;
+  }
+  Out.Text = std::move(Payload);
+  for (const std::string &Line : splitString(Headers, '\n')) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos) {
+      ErrorOut = formatStr("bad option line '%s'", Line.c_str());
+      return FrameStatus::Ok;
+    }
+    std::string Key = trimString(Line.substr(0, Colon));
+    std::string Value = trimString(Line.substr(Colon + 1));
+    if (Key == "pipeline") {
+      Out.Pipeline = Value;
+    } else if (Key == "ssa") {
+      Out.BuildSSA = Value == "1" || Value == "true";
+    } else if (Key == "deadline_ms" || Key == "sleep_ms") {
+      uint64_t V = 0;
+      if (!parseU64(Value, V)) {
+        ErrorOut = formatStr("option %s wants a number, got '%s'",
+                             Key.c_str(), Value.c_str());
+        return FrameStatus::Ok;
+      }
+      (Key == "deadline_ms" ? Out.DeadlineMs : Out.SleepMs) = V;
+    } else {
+      ErrorOut = formatStr("unknown request option '%s'", Key.c_str());
+      return FrameStatus::Ok;
+    }
+  }
+  return FrameStatus::Ok;
+}
+
+FrameStatus lao::readResponse(std::istream &In, const FrameLimits &Limits,
+                              Response &Out, std::string &ErrorOut) {
+  ErrorOut.clear();
+  Out = Response();
+  uint64_t Bytes = 0;
+  FrameStatus S = readHeader(In, "RSP", Out.Id, Bytes, ErrorOut);
+  if (S != FrameStatus::Ok)
+    return S;
+  if (Bytes > Limits.MaxBodyBytes) {
+    if (!skipBody(In, Bytes)) {
+      ErrorOut = "truncated stream inside an oversized response body";
+      return FrameStatus::Malformed;
+    }
+    ErrorOut = formatStr("response body of %llu bytes exceeds the "
+                         "%zu-byte frame limit",
+                         static_cast<unsigned long long>(Bytes),
+                         Limits.MaxBodyBytes);
+    return FrameStatus::Oversized;
+  }
+  std::string Body;
+  if (!readBody(In, Bytes, Body)) {
+    ErrorOut = "truncated stream inside a response body";
+    return FrameStatus::Malformed;
+  }
+  std::string Record, IR;
+  if (!splitBody(Body, Record, IR)) {
+    ErrorOut = "response body has no record/IR separator";
+    return FrameStatus::Malformed;
+  }
+  // The record is machine-readable JSON, but this project is
+  // deliberately writer-only on JSON: clients that need structure keep
+  // the line as-is, and Ok is mirrored textually right after "id" so a
+  // substring probe is exact.
+  Out.RecordJson = trimString(Record);
+  Out.IR = std::move(IR);
+  Out.Ok = Out.RecordJson.find("\"ok\":true") != std::string::npos;
+  return FrameStatus::Ok;
+}

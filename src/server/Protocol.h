@@ -1,0 +1,114 @@
+//===- Protocol.h - lao-server wire protocol --------------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed request/response protocol of the lao compile service. The
+/// transport is any byte stream (the server reads stdin/writes stdout, a
+/// socket streambuf layers on unchanged); every message is one frame:
+///
+///   LAO1 REQ <id> <body-bytes>\n        request header
+///   <body-bytes bytes of body>\n        (trailing newline not counted)
+///
+///   LAO1 RSP <id> <body-bytes>\n        response header
+///   <body-bytes bytes of body>\n
+///
+/// A request body is a block of "key: value" option lines, a blank line,
+/// then the mini-LAI function text:
+///
+///   pipeline: Lphi,ABI+C
+///   ssa: 1
+///   deadline_ms: 250
+///
+///   func @f { ... }
+///
+/// Recognized keys: pipeline (a Table 1 preset name), ssa (run
+/// normalizeToOptimizedSSA first; 0/1), deadline_ms (cooperative
+/// deadline from frame arrival; 0 = none), sleep_ms (diagnostic: the
+/// worker idles this long before compiling, in deadline-checked slices —
+/// used by the timeout tests and load drills). Unknown keys are a
+/// per-request error, not a protocol error.
+///
+/// A response body is a one-line JSON stats/error record, a blank line,
+/// then the transformed function text (empty when the request failed).
+/// The record always carries "id", "ok" and "outcome"; see docs/SERVER.md
+/// for the full schema and the failure taxonomy.
+///
+/// Error recovery is by construction: the only unrecoverable condition is
+/// a header line that does not parse (or a body shorter than its declared
+/// length, i.e. a truncated stream) — everything inside a well-framed
+/// body, including an oversized declared length, yields an error response
+/// for that id while the stream stays in sync.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SERVER_PROTOCOL_H
+#define LAO_SERVER_PROTOCOL_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace lao {
+
+/// Transport-level bounds enforced while reading frames.
+struct FrameLimits {
+  /// Upper bound on a frame body. A request declaring more is answered
+  /// with an error record and its body skipped — the declared length
+  /// keeps the stream resynchronizable without trusting the payload.
+  size_t MaxBodyBytes = 4u << 20;
+};
+
+/// One compile request, as parsed from a request frame.
+struct Request {
+  uint64_t Id = 0;
+  std::string Pipeline = "Lphi,ABI+C";
+  bool BuildSSA = false;
+  uint64_t DeadlineMs = 0; ///< 0 = none (the server default may apply).
+  uint64_t SleepMs = 0;    ///< Diagnostic pre-compile idle (see above).
+  std::string Text;        ///< The mini-LAI function.
+};
+
+/// One response frame, as seen by a client.
+struct Response {
+  uint64_t Id = 0;
+  bool Ok = false;         ///< Parsed from the record's "ok" field.
+  std::string RecordJson;  ///< The one-line stats/error record.
+  std::string IR;          ///< Transformed function; empty on error.
+};
+
+/// Outcome of reading one frame from a stream.
+enum class FrameStatus {
+  Ok,        ///< Frame parsed; for requests, ErrorOut may still name a
+             ///< body-level problem the server must answer as an error.
+  Eof,       ///< Clean end of stream before a header.
+  Malformed, ///< Unrecoverable: bad header line or truncated body.
+  Oversized, ///< Declared body over the limit; body skipped; Id valid.
+};
+
+/// Renders \p R as a request frame (header + body + newline).
+std::string encodeRequest(const Request &R);
+
+/// Renders \p R as a response frame. The body is
+/// RecordJson + "\n\n" + IR.
+std::string encodeResponse(const Response &R);
+
+/// Reads one request frame. On Ok, \p Out holds the parsed request; a
+/// non-empty \p ErrorOut reports a body-level problem (unknown key, bad
+/// number, missing blank line) that the caller should answer as an error
+/// record for Out.Id. On Oversized, Out.Id is valid and the body was
+/// skipped. On Malformed, \p ErrorOut describes the framing failure and
+/// the stream must be abandoned.
+FrameStatus readRequest(std::istream &In, const FrameLimits &Limits,
+                        Request &Out, std::string &ErrorOut);
+
+/// Reads one response frame (the client side). Same contract as
+/// readRequest; a body without the record/IR separator is Malformed.
+FrameStatus readResponse(std::istream &In, const FrameLimits &Limits,
+                         Response &Out, std::string &ErrorOut);
+
+} // namespace lao
+
+#endif // LAO_SERVER_PROTOCOL_H

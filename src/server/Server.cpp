@@ -1,0 +1,316 @@
+//===- Server.cpp - Sharded compile service over the pipeline ------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "analysis/AnalysisManager.h"
+#include "ir/Function.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "outofssa/Pipeline.h"
+#include "support/Json.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+#include "workloads/Suites.h"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+using namespace lao;
+using Clock = std::chrono::steady_clock;
+
+const char *lao::outcomeName(RequestOutcome O) {
+  switch (O) {
+  case RequestOutcome::Ok:
+    return "ok";
+  case RequestOutcome::ParseError:
+    return "parse_error";
+  case RequestOutcome::UnknownPreset:
+    return "unknown_preset";
+  case RequestOutcome::Timeout:
+    return "timeout";
+  case RequestOutcome::PipelineError:
+    return "pipeline_error";
+  case RequestOutcome::Oversized:
+    return "oversized";
+  case RequestOutcome::Protocol:
+    return "protocol_error";
+  }
+  return "unknown";
+}
+
+std::string lao::requestRecordJson(const RequestRecord &Rec) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id").value(Rec.Id);
+  // "ok" must directly follow "id": readResponse probes for the
+  // substring "\"ok\":true" instead of parsing JSON.
+  W.key("ok").value(Rec.ok());
+  W.key("outcome").value(outcomeName(Rec.Outcome));
+  W.key("error").value(Rec.Error);
+  W.key("pipeline").value(Rec.Pipeline);
+  W.key("moves").value(Rec.Moves);
+  W.key("weighted_moves").value(Rec.WeightedMoves);
+  W.key("seconds").value(Rec.Seconds);
+  W.key("counters").beginObject();
+  for (const auto &[Key, Value] : Rec.Counters)
+    W.key(Key).value(Value);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
+                                     Clock::time_point Arrival,
+                                     const ServerOptions &Opts) {
+  RequestRecord Rec;
+  Rec.Id = Req.Id;
+  Rec.Pipeline = Req.Pipeline;
+  auto Start = Clock::now();
+  auto Fail = [&](RequestOutcome O, std::string Error) -> RequestRecord & {
+    Rec.Outcome = O;
+    Rec.Error = std::move(Error);
+    Rec.IR.clear();
+    return Rec;
+  };
+
+  uint64_t DeadlineMs = Req.DeadlineMs ? Req.DeadlineMs
+                                       : Opts.DefaultDeadlineMs;
+  Clock::time_point Deadline =
+      Arrival + std::chrono::milliseconds(DeadlineMs);
+  auto Expired = [&] { return DeadlineMs && Clock::now() >= Deadline; };
+
+  // Everything below attributes its counter bumps to this request alone,
+  // however many sibling workers are running.
+  StatsScope Scope;
+  ++LAO_STAT(server, requests);
+  auto Finish = [&]() -> RequestRecord & {
+    Rec.Counters = Scope.takeAndReset();
+    Rec.Seconds =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+    return Rec;
+  };
+
+  if (Expired()) {
+    ++LAO_STAT(server, timeouts);
+    return Finish(),
+           Fail(RequestOutcome::Timeout,
+                "deadline exceeded before compilation started");
+  }
+
+  // Diagnostic idle, in slices so a deadline interrupts it promptly.
+  for (Clock::time_point SleepEnd =
+           Start + std::chrono::milliseconds(Req.SleepMs);
+       Clock::now() < SleepEnd;) {
+    if (Expired()) {
+      ++LAO_STAT(server, timeouts);
+      return Finish(), Fail(RequestOutcome::Timeout,
+                            "deadline exceeded during requested sleep");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::string ParseError;
+  std::unique_ptr<Function> F = parseFunction(Req.Text, &ParseError);
+  if (!F) {
+    ++LAO_STAT(server, parse_errors);
+    return Finish(),
+           Fail(RequestOutcome::ParseError, "parse error: " + ParseError);
+  }
+  std::optional<PipelineConfig> Config = pipelinePresetOpt(Req.Pipeline);
+  if (!Config) {
+    ++LAO_STAT(server, preset_errors);
+    return Finish(), Fail(RequestOutcome::UnknownPreset,
+                          formatStr("unknown pipeline preset '%s'",
+                                    Req.Pipeline.c_str()));
+  }
+  Config->CancelCheck = Expired;
+
+  // Swap the request's function into the worker context: the reused
+  // manager is rebound to it inside runPipeline, and the previous
+  // request's function (which the manager may still reference through
+  // dropped-on-reset caches) dies only after this one is in place.
+  Ctx.F = std::move(F);
+  if (!Ctx.AM)
+    Ctx.AM = std::make_unique<AnalysisManager>(*Ctx.F);
+
+  try {
+    if (Req.BuildSSA)
+      normalizeToOptimizedSSA(*Ctx.F);
+    PipelineResult R = runPipeline(*Ctx.F, *Config, *Ctx.AM);
+    if (R.Cancelled) {
+      ++LAO_STAT(server, timeouts);
+      return Finish(), Fail(RequestOutcome::Timeout,
+                            "deadline exceeded during compilation");
+    }
+    Rec.Moves = R.NumMoves;
+    Rec.WeightedMoves = R.WeightedMoves;
+    Rec.IR = printFunction(*Ctx.F);
+  } catch (const std::exception &E) {
+    ++LAO_STAT(server, pipeline_errors);
+    return Finish(), Fail(RequestOutcome::PipelineError,
+                          formatStr("pipeline error: %s", E.what()));
+  } catch (...) {
+    ++LAO_STAT(server, pipeline_errors);
+    return Finish(),
+           Fail(RequestOutcome::PipelineError, "pipeline error: unknown");
+  }
+  ++LAO_STAT(server, requests_ok);
+  return Finish();
+}
+
+int Server::serve(std::istream &In, std::ostream &Out) {
+  ThreadPool Pool(Opts.NumWorkers ? Opts.NumWorkers : 1);
+  unsigned NumWorkers = Pool.numThreads();
+
+  // Worker contexts are handed out through a free-slot stack: at most
+  // NumWorkers tasks run at once, so a popping task always finds one,
+  // and a context is reused serially even though tasks hop threads.
+  std::vector<WorkerContext> Contexts(NumWorkers);
+  std::vector<unsigned> FreeSlots;
+  std::mutex SlotM;
+  for (unsigned K = 0; K < NumWorkers; ++K)
+    FreeSlots.push_back(K);
+
+  // Reorder buffer: responses are written strictly in arrival order by
+  // a dedicated writer thread, whatever order the workers finish in.
+  std::mutex OutM;
+  std::condition_variable OutCv;
+  std::map<uint64_t, std::string> PendingOut; // seq -> encoded frame
+  uint64_t NextFlush = 0;
+  uint64_t SeqCount = 0;
+  bool ReaderDone = false;
+
+  std::thread Writer([&] {
+    std::unique_lock<std::mutex> L(OutM);
+    for (;;) {
+      OutCv.wait(L, [&] {
+        return PendingOut.count(NextFlush) != 0 ||
+               (ReaderDone && NextFlush == SeqCount);
+      });
+      for (auto It = PendingOut.find(NextFlush); It != PendingOut.end();
+           It = PendingOut.find(NextFlush)) {
+        std::string Frame = std::move(It->second);
+        PendingOut.erase(It);
+        ++NextFlush;
+        L.unlock();
+        Out << Frame;
+        Out.flush();
+        L.lock();
+      }
+      if (ReaderDone && NextFlush == SeqCount)
+        return;
+    }
+  });
+
+  auto Complete = [&](uint64_t Seq, RequestRecord Rec) {
+    Response Rsp;
+    Rsp.Id = Rec.Id;
+    Rsp.RecordJson = requestRecordJson(Rec);
+    Rsp.IR = Rec.IR;
+    std::string Frame = encodeResponse(Rsp);
+    std::lock_guard<std::mutex> G(OutM);
+    ++Report.NumRequests;
+    switch (Rec.Outcome) {
+    case RequestOutcome::Ok:
+      ++Report.NumOk;
+      break;
+    case RequestOutcome::Timeout:
+      ++Report.NumTimeouts;
+      break;
+    case RequestOutcome::ParseError:
+    case RequestOutcome::UnknownPreset:
+      ++Report.NumParseErrors;
+      break;
+    case RequestOutcome::Oversized:
+      ++Report.NumOversized;
+      break;
+    case RequestOutcome::PipelineError:
+      ++Report.NumPipelineErrors;
+      break;
+    case RequestOutcome::Protocol:
+      break;
+    }
+    if (Rec.Outcome != RequestOutcome::Ok)
+      ++Report.NumErrors;
+    mergeSnapshot(Report.MergedCounters, Rec.Counters);
+    if (Opts.CollectRecords) {
+      if (Records.size() <= Seq)
+        Records.resize(Seq + 1);
+      Records[Seq] = std::move(Rec);
+    }
+    PendingOut[Seq] = std::move(Frame);
+    OutCv.notify_all();
+  };
+
+  uint64_t Seq = 0;
+  int Rc = 0;
+  for (;;) {
+    Request Req;
+    std::string Error;
+    FrameStatus S = readRequest(In, Opts.Limits, Req, Error);
+    if (S == FrameStatus::Eof)
+      break;
+    if (S == FrameStatus::Malformed) {
+      // The stream cannot be resynchronized: answer with a final id-0
+      // protocol record and stop reading. Everything already dispatched
+      // still completes and flushes in order below.
+      RequestRecord Rec;
+      Rec.Outcome = RequestOutcome::Protocol;
+      Rec.Error = "protocol error: " + Error;
+      Complete(Seq++, std::move(Rec));
+      Rc = 1;
+      break;
+    }
+    Clock::time_point Arrival = Clock::now();
+    if (S == FrameStatus::Oversized || !Error.empty()) {
+      RequestRecord Rec;
+      Rec.Id = Req.Id;
+      Rec.Pipeline = Req.Pipeline;
+      Rec.Outcome = S == FrameStatus::Oversized ? RequestOutcome::Oversized
+                                                : RequestOutcome::ParseError;
+      Rec.Error = Error;
+      ++LAO_STAT(server, requests);
+      if (S == FrameStatus::Oversized)
+        ++LAO_STAT(server, oversized);
+      else
+        ++LAO_STAT(server, parse_errors);
+      Complete(Seq++, std::move(Rec));
+      continue;
+    }
+    uint64_t MySeq = Seq++;
+    Pool.async([&, MySeq, Arrival, Req = std::move(Req)] {
+      unsigned Slot;
+      {
+        std::lock_guard<std::mutex> G(SlotM);
+        Slot = FreeSlots.back();
+        FreeSlots.pop_back();
+      }
+      RequestRecord Rec = compileRequest(Req, Contexts[Slot], Arrival, Opts);
+      {
+        std::lock_guard<std::mutex> G(SlotM);
+        FreeSlots.push_back(Slot);
+      }
+      Complete(MySeq, std::move(Rec));
+    });
+  }
+
+  // compileRequest never lets an exception escape, so this wait can only
+  // rethrow on a bug in the server plumbing itself — let that be loud.
+  Pool.wait();
+  {
+    std::lock_guard<std::mutex> G(OutM);
+    ReaderDone = true;
+    SeqCount = Seq;
+  }
+  OutCv.notify_all();
+  Writer.join();
+  return Rc;
+}

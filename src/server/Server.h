@@ -1,0 +1,149 @@
+//===- Server.h - Sharded compile service over the pipeline -----*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lao compile service: a persistent process that reads framed
+/// requests (Protocol.h) from a byte stream, shards them across a
+/// ThreadPool, and writes responses back **in arrival order**. Per the
+/// "millions of users" architecture step in ROADMAP.md, every piece of
+/// request-scoped state is explicit:
+///
+///  * one WorkerContext per pool thread, holding a reused
+///    AnalysisManager (reset per request) and keeping the request's
+///    Function alive exactly as long as the manager is bound to it;
+///  * one StatsScope per request, so the per-request counter deltas in
+///    the response record are exact no matter how many workers run
+///    concurrently (the process-global registry stays monotonic);
+///  * cooperative deadlines: measured from frame arrival, enforced
+///    before compilation, during diagnostic sleeps, and between pipeline
+///    phases via PipelineConfig::CancelCheck;
+///  * graceful degradation: a request that fails to parse, names an
+///    unknown preset, oversteps the frame limit, times out, or throws
+///    yields a structured error record — the daemon keeps serving. The
+///    only fatal condition is an unframeable input stream, answered
+///    with a final id-0 protocol error record.
+///
+/// Response *order* is deterministic (arrival order, via a reorder
+/// buffer) and response *content* is byte-identical to the one-shot
+/// lao-opt pipeline on the same input: the worker runs the exact same
+/// parse -> [normalizeToOptimizedSSA] -> runPipeline -> printFunction
+/// path. Timing fields in the JSON record are the only nondeterminism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SERVER_SERVER_H
+#define LAO_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+#include "support/Stats.h"
+
+#include <chrono>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+namespace lao {
+
+class AnalysisManager;
+class Function;
+
+struct ServerOptions {
+  unsigned NumWorkers = 4;
+  FrameLimits Limits;
+  /// Deadline applied to requests that do not carry one; 0 = none.
+  uint64_t DefaultDeadlineMs = 0;
+  /// Keep every per-request record (including the IR) in memory for
+  /// records(). Tests and the exit report use this; a production serve
+  /// loop leaves it off and only aggregates.
+  bool CollectRecords = false;
+};
+
+/// How one request ended. Mirrored textually in the record's "outcome".
+enum class RequestOutcome {
+  Ok,
+  ParseError,    ///< Function text or option block did not parse.
+  UnknownPreset, ///< Pipeline name is not a Table 1 preset.
+  Timeout,       ///< Deadline expired (queued, sleeping, or mid-phase).
+  PipelineError, ///< An exception escaped the compile path.
+  Oversized,     ///< Declared body length over the frame limit.
+  Protocol,      ///< Framing failure (the final, fatal record).
+};
+
+/// Returns the wire name of \p O ("ok", "parse_error", ...).
+const char *outcomeName(RequestOutcome O);
+
+/// Everything the server knows about one finished request. The response
+/// frame is rendered from this and nothing else.
+struct RequestRecord {
+  uint64_t Id = 0;
+  RequestOutcome Outcome = RequestOutcome::Ok;
+  bool ok() const { return Outcome == RequestOutcome::Ok; }
+  std::string Error;       ///< Human-readable; empty when ok.
+  std::string Pipeline;
+  unsigned Moves = 0;      ///< PipelineResult::NumMoves.
+  uint64_t WeightedMoves = 0;
+  double Seconds = 0;      ///< Wall time inside the worker.
+  StatsSnapshot Counters;  ///< Exact per-request deltas (StatsScope).
+  std::string IR;          ///< Transformed function; empty on error.
+};
+
+/// Renders the one-line JSON record of a response body.
+std::string requestRecordJson(const RequestRecord &Rec);
+
+/// Service-lifetime aggregate, merged from the per-request records.
+struct ServerReport {
+  uint64_t NumRequests = 0;
+  uint64_t NumOk = 0;
+  uint64_t NumErrors = 0;   ///< Every non-Ok outcome, timeouts included.
+  uint64_t NumTimeouts = 0;
+  uint64_t NumParseErrors = 0;
+  uint64_t NumOversized = 0;
+  uint64_t NumPipelineErrors = 0;
+  StatsSnapshot MergedCounters; ///< Sum of per-request deltas.
+};
+
+/// Per-worker reusable state: the long-lived AnalysisManager and the
+/// Function it is currently bound to. The function must outlive the
+/// manager's binding, so both live here and are replaced together on
+/// the next request.
+struct WorkerContext {
+  std::unique_ptr<Function> F;
+  std::unique_ptr<AnalysisManager> AM;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts = {}) : Opts(std::move(Opts)) {}
+
+  /// Compiles one request through \p Ctx's reused manager. \p Arrival
+  /// anchors the deadline. This is the whole per-request path — serve()
+  /// calls it from pool workers, tests call it directly.
+  static RequestRecord compileRequest(const Request &Req, WorkerContext &Ctx,
+                                      std::chrono::steady_clock::time_point
+                                          Arrival,
+                                      const ServerOptions &Opts);
+
+  /// Serves framed requests from \p In until EOF, writing responses to
+  /// \p Out in arrival order. Returns 0 on clean EOF, 1 after an
+  /// unrecoverable framing error (a final id-0 error response is still
+  /// emitted). Callable once per Server instance.
+  int serve(std::istream &In, std::ostream &Out);
+
+  const ServerReport &report() const { return Report; }
+
+  /// Arrival-ordered per-request records; only filled when
+  /// ServerOptions::CollectRecords is set.
+  const std::vector<RequestRecord> &records() const { return Records; }
+
+private:
+  ServerOptions Opts;
+  ServerReport Report;
+  std::vector<RequestRecord> Records;
+};
+
+} // namespace lao
+
+#endif // LAO_SERVER_SERVER_H

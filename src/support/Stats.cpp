@@ -15,6 +15,27 @@ StatCounter::StatCounter(const char *Pass, const char *Name)
   StatsRegistry::instance().add(this);
 }
 
+thread_local StatsScope *StatsScope::Active = nullptr;
+
+StatsSnapshot StatsScope::snapshot() const {
+  StatsSnapshot Snap;
+  for (const auto &[C, V] : Local)
+    if (V)
+      Snap[std::string(C->pass()) + "." + C->name()] += V;
+  return Snap;
+}
+
+StatsSnapshot StatsScope::takeAndReset() {
+  StatsSnapshot Snap = snapshot();
+  Local.clear();
+  return Snap;
+}
+
+void lao::mergeSnapshot(StatsSnapshot &Into, const StatsSnapshot &From) {
+  for (const auto &[Key, V] : From)
+    Into[Key] += V;
+}
+
 StatsRegistry &StatsRegistry::instance() {
   static StatsRegistry Registry;
   return Registry;

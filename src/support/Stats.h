@@ -23,6 +23,17 @@
 /// from a ThreadPool and the per-run deltas stay exact because integer
 /// atomic adds commute.
 ///
+/// Whole-process snapshot deltas are exact only when nothing else runs
+/// concurrently — the blocker for a sharded compile *service*, where N
+/// workers bump the same global counters at once. StatsScope solves the
+/// attribution problem: while a scope is alive on a thread, every bump
+/// made *by that thread* is additionally recorded into the scope, so a
+/// server worker wraps each request in a scope and reads an exact
+/// per-request delta no matter what the other workers are doing. The
+/// global counters keep their monotonic process-lifetime semantics
+/// untouched; per-request snapshots are merged into service totals with
+/// mergeSnapshot.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LAO_SUPPORT_STATS_H
@@ -33,10 +44,53 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <unordered_map>
 
 namespace lao {
 
+class StatCounter;
 class StatsRegistry;
+
+/// Point-in-time counter values, keyed "pass.name". std::map gives a
+/// deterministic (sorted) iteration order, which the JSON emitters rely
+/// on for schema-stable output.
+using StatsSnapshot = std::map<std::string, uint64_t>;
+
+/// Adds every entry of \p From into \p Into — the merge-on-report step
+/// for per-worker / per-request snapshots.
+void mergeSnapshot(StatsSnapshot &Into, const StatsSnapshot &From);
+
+/// RAII per-thread recording of counter bumps. While the innermost scope
+/// on a thread is alive, StatCounter::operator+= also accumulates the
+/// delta into it (scopes nest by shadowing: only the innermost records).
+/// Cost when no scope is active: one thread-local load and a predictable
+/// branch per bump.
+class StatsScope {
+public:
+  StatsScope() : Prev(Active) { Active = this; }
+  ~StatsScope() { Active = Prev; }
+  StatsScope(const StatsScope &) = delete;
+  StatsScope &operator=(const StatsScope &) = delete;
+
+  /// The scope recording bumps on the calling thread, or nullptr.
+  static StatsScope *active() { return Active; }
+
+  /// Called from StatCounter::operator+= on the owning thread.
+  void record(const StatCounter *C, uint64_t Delta) { Local[C] += Delta; }
+
+  /// Deltas recorded since construction (or the last takeAndReset),
+  /// keyed "pass.name" like StatsRegistry snapshots; zero entries and
+  /// entries from other threads never appear.
+  StatsSnapshot snapshot() const;
+
+  /// snapshot(), then clears the scope for the next request.
+  StatsSnapshot takeAndReset();
+
+private:
+  std::unordered_map<const StatCounter *, uint64_t> Local;
+  StatsScope *Prev;
+  static thread_local StatsScope *Active;
+};
 
 /// One named statistic. Construct only through LAO_STAT (or as a static
 /// with process lifetime): the registry keeps a pointer to it forever.
@@ -46,6 +100,8 @@ public:
 
   StatCounter &operator+=(uint64_t Delta) {
     Value.fetch_add(Delta, std::memory_order_relaxed);
+    if (StatsScope *S = StatsScope::active())
+      S->record(this, Delta);
     return *this;
   }
   StatCounter &operator++() { return *this += 1; }
@@ -61,11 +117,6 @@ private:
   std::atomic<uint64_t> Value{0};
   StatCounter *Next = nullptr; ///< Intrusive registry list.
 };
-
-/// Point-in-time counter values, keyed "pass.name". std::map gives a
-/// deterministic (sorted) iteration order, which the JSON emitters rely
-/// on for schema-stable output.
-using StatsSnapshot = std::map<std::string, uint64_t>;
 
 /// The process-wide counter list. Registration is lock-free (counters
 /// are only ever added, never removed).

@@ -17,6 +17,17 @@
 /// pool never spawns more workers than requested even when parallelFor
 /// is called with more items.
 ///
+/// Exception safety: a task that throws does NOT take the process down
+/// (a long-running daemon shares this pool with batch tools). The worker
+/// loop captures the first escaped exception as a std::exception_ptr,
+/// keeps the pool serving, and wait() rethrows it in the waiting thread.
+/// parallelFor likewise rethrows the first exception thrown by Fn at the
+/// call site, after all lanes have stopped: once an item throws, no new
+/// items are claimed (items already running complete normally), so a
+/// throwing sweep terminates promptly instead of deadlocking the
+/// completion latch. An exception still pending when the pool is
+/// destroyed is dropped (destructors cannot throw).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LAO_SUPPORT_THREADPOOL_H
@@ -25,9 +36,11 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace lao {
@@ -72,10 +85,17 @@ public:
     WakeWorker.notify_one();
   }
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until the queue is empty and no task is running. If any task
+  /// threw since the last wait(), rethrows the first captured exception
+  /// (later ones are dropped) after the pool has drained.
   void wait() {
     std::unique_lock<std::mutex> L(M);
     Idle.wait(L, [this] { return Queue.empty() && Running == 0; });
+    if (FirstError) {
+      std::exception_ptr E = std::exchange(FirstError, nullptr);
+      L.unlock();
+      std::rethrow_exception(E);
+    }
   }
 
   /// Runs Fn(0) .. Fn(N-1), each exactly once, on the pool's workers;
@@ -87,12 +107,24 @@ public:
     std::atomic<size_t> Next{0};
     size_t Lanes = std::min<size_t>(numThreads(), N);
     std::atomic<size_t> Remaining{Lanes};
+    std::atomic<bool> Abort{false};
     std::mutex DoneM;
     std::condition_variable Done;
+    std::exception_ptr ItemError; // Guarded by DoneM.
     for (size_t K = 0; K < Lanes; ++K)
       async([&] {
-        for (size_t I; (I = Next.fetch_add(1, std::memory_order_relaxed)) < N;)
-          Fn(I);
+        for (size_t I;
+             !Abort.load(std::memory_order_relaxed) &&
+             (I = Next.fetch_add(1, std::memory_order_relaxed)) < N;) {
+          try {
+            Fn(I);
+          } catch (...) {
+            Abort.store(true, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> G(DoneM);
+            if (!ItemError)
+              ItemError = std::current_exception();
+          }
+        }
         if (Remaining.fetch_sub(1) == 1) {
           std::lock_guard<std::mutex> G(DoneM);
           Done.notify_all();
@@ -100,6 +132,11 @@ public:
       });
     std::unique_lock<std::mutex> L(DoneM);
     Done.wait(L, [&] { return Remaining.load() == 0; });
+    if (ItemError) {
+      std::exception_ptr E = ItemError;
+      L.unlock();
+      std::rethrow_exception(E);
+    }
   }
 
 private:
@@ -115,7 +152,13 @@ private:
         Queue.pop_front();
         ++Running;
       }
-      Task();
+      try {
+        Task();
+      } catch (...) {
+        std::lock_guard<std::mutex> G(M);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
       {
         std::lock_guard<std::mutex> G(M);
         --Running;
@@ -132,6 +175,7 @@ private:
   std::condition_variable Idle;
   unsigned Running = 0;
   bool Stop = false;
+  std::exception_ptr FirstError; ///< First task exception; guarded by M.
 };
 
 } // namespace lao

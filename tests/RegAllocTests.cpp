@@ -137,6 +137,50 @@ entry:
   EXPECT_FALSE(R.Error.empty());
 }
 
+TEST(RegAlloc, BoundedRoundsFailCleanly) {
+  // Ten simultaneously live values in a 2-register machine need several
+  // spill rounds; with MaxRounds=1 the allocator must give up after the
+  // single permitted round with a structured error naming the cap —
+  // never hang or crash. The same input converges under the default cap.
+  std::string Text = "func @f {\nentry:\n  input %a\n";
+  for (int K = 0; K < 10; ++K)
+    Text += "  %v" + std::to_string(K) + " = addi %a, " +
+            std::to_string(K) + "\n";
+  Text += "  %s0 = add %v0, %v1\n";
+  for (int K = 2; K < 10; ++K)
+    Text += "  %s" + std::to_string(K - 1) + " = add %s" +
+            std::to_string(K - 2) + ", %v" + std::to_string(K) + "\n";
+  Text += "  ret %s8\n}\n";
+
+  auto Capped = parse(Text);
+  RegAllocOptions Opts;
+  Opts.NumRegs = 2;
+  Opts.MaxRounds = 1;
+  RegAllocResult R = allocateRegisters(*Capped, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.NumRounds, 1u);
+  EXPECT_NE(R.Error.find("did not converge after 1 spill rounds"),
+            std::string::npos)
+      << R.Error;
+
+  // MaxRounds=0 is normalized to one round, not an instant failure
+  // with zero attempts.
+  auto Zero = parse(Text);
+  Opts.MaxRounds = 0;
+  R = allocateRegisters(*Zero, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.NumRounds, 1u);
+
+  auto Free = parse(Text);
+  auto Before = cloneFunction(*Free);
+  Opts.MaxRounds = 32;
+  R = allocateRegisters(*Free, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.NumRounds, 1u);
+  EXPECT_TRUE(collectVirtualRegs(*Free).empty());
+  expectEquivalent(*Before, *Free, {3});
+}
+
 TEST(RegAlloc, AfterFullPipelineOnFigures) {
   for (const Workload &W : makeExamplesSuite()) {
     auto F = cloneFunction(*W.F);

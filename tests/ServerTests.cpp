@@ -1,0 +1,391 @@
+//===- ServerTests.cpp - Compile-service protocol and server tests -----------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The lao-server acceptance gates, in-process: framing round-trips,
+// byte-identity of served IR against the one-shot pipeline, every
+// graceful-degradation path (malformed body, unknown preset, oversized
+// frame, deadline expiry) leaving the daemon serving, the one fatal
+// path (unframeable stream), and the determinism of per-request stat
+// attribution under a concurrent multi-worker pool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/AnalysisManager.h"
+#include "outofssa/Pipeline.h"
+#include "server/Server.h"
+#include "workloads/Suites.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace lao;
+using namespace lao::test;
+
+namespace {
+
+const char *SimpleFunc = R"(
+func @f {
+entry:
+  input %a, %b
+  %c = cmplt %a, %b
+  branch %c, then, else
+then:
+  %x = addi %a, 1
+  jump join
+else:
+  %y = addi %b, 2
+  jump join
+join:
+  %z = phi [%x, then], [%y, else]
+  ret %z
+}
+)";
+
+/// Drives a fresh server over the concatenated request frames and
+/// returns (exit code, responses in stream order).
+int serveFrames(const ServerOptions &Opts, const std::string &Frames,
+                std::vector<Response> &Responses, Server *Out = nullptr) {
+  Server Local(Opts);
+  Server &S = Out ? *Out : Local;
+  std::istringstream In(Frames);
+  std::ostringstream OutBytes;
+  int Rc = S.serve(In, OutBytes);
+  std::istringstream Rsp(OutBytes.str());
+  // Response frames are read with the default (generous) limits: the
+  // request-side limit under test must not throttle the readback.
+  for (;;) {
+    Response R;
+    std::string Error;
+    FrameStatus St = readResponse(Rsp, FrameLimits(), R, Error);
+    if (St == FrameStatus::Eof)
+      break;
+    EXPECT_EQ(St, FrameStatus::Ok) << Error;
+    if (St != FrameStatus::Ok)
+      break;
+    Responses.push_back(std::move(R));
+  }
+  return Rc;
+}
+
+/// The exact one-shot reference: what lao-opt would print for \p Text.
+std::string oneShot(const std::string &Text,
+                    const std::string &Preset = "Lphi,ABI+C") {
+  auto F = parseFunction(Text);
+  EXPECT_TRUE(F != nullptr);
+  runPipeline(*F, pipelinePreset(Preset));
+  return printFunction(*F);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol framing
+//===----------------------------------------------------------------------===//
+
+TEST(ServerProtocol, RequestRoundTrip) {
+  Request R;
+  R.Id = 42;
+  R.Pipeline = "C,naiveABI+C";
+  R.BuildSSA = true;
+  R.DeadlineMs = 250;
+  R.SleepMs = 3;
+  R.Text = "func @f {\nentry:\n  input %a\n  ret %a\n}\n";
+  std::istringstream In(encodeRequest(R));
+  Request Back;
+  std::string Error;
+  ASSERT_EQ(readRequest(In, FrameLimits(), Back, Error), FrameStatus::Ok);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Back.Id, R.Id);
+  EXPECT_EQ(Back.Pipeline, R.Pipeline);
+  EXPECT_EQ(Back.BuildSSA, R.BuildSSA);
+  EXPECT_EQ(Back.DeadlineMs, R.DeadlineMs);
+  EXPECT_EQ(Back.SleepMs, R.SleepMs);
+  EXPECT_EQ(Back.Text, R.Text);
+  // The stream is fully consumed: a second read is a clean EOF.
+  EXPECT_EQ(readRequest(In, FrameLimits(), Back, Error), FrameStatus::Eof);
+}
+
+TEST(ServerProtocol, ResponseRoundTrip) {
+  Response R;
+  R.Id = 7;
+  R.Ok = true;
+  R.RecordJson = "{\"id\":7,\"ok\":true,\"outcome\":\"ok\"}";
+  R.IR = "func @f {\nentry:\n  ret %R0\n}\n";
+  std::istringstream In(encodeResponse(R));
+  Response Back;
+  std::string Error;
+  ASSERT_EQ(readResponse(In, FrameLimits(), Back, Error), FrameStatus::Ok);
+  EXPECT_EQ(Back.Id, 7u);
+  EXPECT_TRUE(Back.Ok);
+  EXPECT_EQ(Back.RecordJson, R.RecordJson);
+  EXPECT_EQ(Back.IR, R.IR);
+}
+
+TEST(ServerProtocol, UnknownOptionKeyIsBodyLevelError) {
+  // A well-framed body with an option key the server does not know is a
+  // per-request error (FrameStatus::Ok + non-empty ErrorOut naming the
+  // key), never a protocol failure.
+  std::string Body = "frobnicate: 1\n\nfunc @f {\nentry:\n  ret %a\n}\n";
+  std::ostringstream Frame;
+  Frame << "LAO1 REQ 9 " << Body.size() << "\n" << Body << "\n";
+  std::istringstream In(Frame.str());
+  Request R;
+  std::string Error;
+  ASSERT_EQ(readRequest(In, FrameLimits(), R, Error), FrameStatus::Ok);
+  EXPECT_EQ(R.Id, 9u);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_NE(Error.find("frobnicate"), std::string::npos) << Error;
+}
+
+TEST(ServerProtocol, BadHeaderIsMalformed) {
+  std::istringstream In("HELLO WORLD\n");
+  Request R;
+  std::string Error;
+  EXPECT_EQ(readRequest(In, FrameLimits(), R, Error),
+            FrameStatus::Malformed);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ServerProtocol, TruncatedBodyIsMalformed) {
+  std::istringstream In("LAO1 REQ 1 9999\n\nfunc @f");
+  Request R;
+  std::string Error;
+  EXPECT_EQ(readRequest(In, FrameLimits(), R, Error),
+            FrameStatus::Malformed);
+}
+
+TEST(ServerProtocol, OversizedBodyIsSkippedWithIdIntact) {
+  // Large enough for the follow-up request's encoded body (option
+  // block + one-byte function text), small enough to reject the blob.
+  FrameLimits Limits;
+  Limits.MaxBodyBytes = 32;
+  std::string Body(64, 'x');
+  std::ostringstream Frames;
+  Frames << "LAO1 REQ 5 " << Body.size() << "\n" << Body << "\n";
+  Request Good;
+  Good.Id = 6;
+  Good.Text = "t";
+  Frames << encodeRequest(Good);
+  std::istringstream In(Frames.str());
+  Request R;
+  std::string Error;
+  EXPECT_EQ(readRequest(In, Limits, R, Error), FrameStatus::Oversized);
+  EXPECT_EQ(R.Id, 5u);
+  // The stream resynchronized: the next frame reads normally.
+  EXPECT_EQ(readRequest(In, Limits, R, Error), FrameStatus::Ok);
+  EXPECT_EQ(R.Id, 6u);
+  EXPECT_EQ(R.Text, "t");
+}
+
+//===----------------------------------------------------------------------===//
+// Serving
+//===----------------------------------------------------------------------===//
+
+TEST(Server, ServedIRMatchesOneShotPipeline) {
+  Request R;
+  R.Id = 1;
+  R.Text = SimpleFunc;
+  std::vector<Response> Responses;
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(R), Responses), 0);
+  ASSERT_EQ(Responses.size(), 1u);
+  EXPECT_TRUE(Responses[0].Ok) << Responses[0].RecordJson;
+  EXPECT_EQ(Responses[0].IR, oneShot(SimpleFunc));
+}
+
+TEST(Server, ErrorRequestsDegradeGracefully) {
+  // Four requests: unknown preset, unparseable text, fine, timed out.
+  // Each bad one yields its own error record; the good one compiles;
+  // the daemon reaches clean EOF (exit 0).
+  Request Bad1;
+  Bad1.Id = 1;
+  Bad1.Pipeline = "NotATable1Preset";
+  Bad1.Text = SimpleFunc;
+  Request Bad2;
+  Bad2.Id = 2;
+  Bad2.Text = "this is not a function";
+  Request Good;
+  Good.Id = 3;
+  Good.Text = SimpleFunc;
+  Request Slow;
+  Slow.Id = 4;
+  Slow.Text = SimpleFunc;
+  Slow.SleepMs = 200;
+  Slow.DeadlineMs = 20;
+  std::string Frames = encodeRequest(Bad1) + encodeRequest(Bad2) +
+                       encodeRequest(Good) + encodeRequest(Slow);
+
+  ServerOptions Opts;
+  Opts.NumWorkers = 4;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, Frames, Responses, &S), 0);
+  ASSERT_EQ(Responses.size(), 4u);
+  ASSERT_EQ(S.records().size(), 4u);
+
+  EXPECT_FALSE(Responses[0].Ok);
+  EXPECT_EQ(S.records()[0].Outcome, RequestOutcome::UnknownPreset);
+  EXPECT_FALSE(Responses[1].Ok);
+  EXPECT_EQ(S.records()[1].Outcome, RequestOutcome::ParseError);
+  EXPECT_FALSE(S.records()[1].Error.empty());
+  EXPECT_TRUE(Responses[2].Ok) << Responses[2].RecordJson;
+  EXPECT_EQ(Responses[2].IR, oneShot(SimpleFunc));
+  EXPECT_FALSE(Responses[3].Ok);
+  EXPECT_EQ(S.records()[3].Outcome, RequestOutcome::Timeout);
+  EXPECT_NE(Responses[3].RecordJson.find("\"outcome\":\"timeout\""),
+            std::string::npos)
+      << Responses[3].RecordJson;
+
+  EXPECT_EQ(S.report().NumRequests, 4u);
+  EXPECT_EQ(S.report().NumOk, 1u);
+  EXPECT_EQ(S.report().NumErrors, 3u);
+  EXPECT_EQ(S.report().NumTimeouts, 1u);
+}
+
+TEST(Server, OversizedFrameThenGoodFrame) {
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.Limits.MaxBodyBytes = 512;
+  Opts.CollectRecords = true;
+  std::string Big(4096, 'x');
+  std::ostringstream Frames;
+  Frames << "LAO1 REQ 1 " << Big.size() << "\n" << Big << "\n";
+  Request Good;
+  Good.Id = 2;
+  Good.Text = SimpleFunc;
+  Frames << encodeRequest(Good);
+
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, Frames.str(), Responses, &S), 0);
+  ASSERT_EQ(Responses.size(), 2u);
+  EXPECT_FALSE(Responses[0].Ok);
+  EXPECT_EQ(Responses[0].Id, 1u);
+  EXPECT_EQ(S.records()[0].Outcome, RequestOutcome::Oversized);
+  EXPECT_TRUE(Responses[1].Ok) << Responses[1].RecordJson;
+  EXPECT_EQ(S.report().NumOversized, 1u);
+}
+
+TEST(Server, MalformedHeaderIsFatalWithFinalRecord) {
+  Request Good;
+  Good.Id = 1;
+  Good.Text = SimpleFunc;
+  std::string Frames = encodeRequest(Good) + "GARBAGE HEADER LINE\n";
+
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, Frames, Responses, &S), 1);
+  // The good request before the garbage was still answered, then the
+  // fatal id-0 protocol record closed the stream.
+  ASSERT_EQ(Responses.size(), 2u);
+  EXPECT_TRUE(Responses[0].Ok);
+  EXPECT_EQ(Responses[1].Id, 0u);
+  EXPECT_FALSE(Responses[1].Ok);
+  EXPECT_NE(Responses[1].RecordJson.find("\"outcome\":\"protocol_error\""),
+            std::string::npos)
+      << Responses[1].RecordJson;
+}
+
+TEST(Server, DeadlineAppliesDefaultFromOptions) {
+  Request Slow;
+  Slow.Id = 1;
+  Slow.Text = SimpleFunc;
+  Slow.SleepMs = 200; // no per-request deadline: the server default hits
+  ServerOptions Opts;
+  Opts.NumWorkers = 1;
+  Opts.DefaultDeadlineMs = 20;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(Slow), Responses, &S), 0);
+  ASSERT_EQ(Responses.size(), 1u);
+  EXPECT_EQ(S.records()[0].Outcome, RequestOutcome::Timeout);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism under concurrency
+//===----------------------------------------------------------------------===//
+
+TEST(Server, ConcurrentStressIsDeterministic) {
+  // Every suite function, pipelined into a 4-worker server, must yield
+  // byte-identical IR, identical outcomes, and *identical per-request
+  // counter deltas* to a serial 1-worker run — the StatsScope exactness
+  // gate. Response order must equal arrival order both times.
+  std::vector<std::string> Texts;
+  for (const SuiteSpec &Spec : allSuites())
+    for (Workload &W : Spec.Make())
+      Texts.push_back(printFunction(*W.F));
+  ASSERT_GT(Texts.size(), 50u);
+
+  std::string Frames;
+  for (size_t K = 0; K < Texts.size(); ++K) {
+    Request R;
+    R.Id = K + 1;
+    R.Text = Texts[K];
+    Frames += encodeRequest(R);
+  }
+
+  auto Run = [&](unsigned Workers, std::vector<RequestRecord> &Records) {
+    ServerOptions Opts;
+    Opts.NumWorkers = Workers;
+    Opts.CollectRecords = true;
+    Server S(Opts);
+    std::vector<Response> Responses;
+    EXPECT_EQ(serveFrames(Opts, Frames, Responses, &S), 0);
+    EXPECT_EQ(Responses.size(), Texts.size());
+    for (size_t K = 0; K < Responses.size(); ++K)
+      EXPECT_EQ(Responses[K].Id, K + 1) << "response order broke";
+    Records = S.records();
+    EXPECT_EQ(S.report().NumOk, Texts.size());
+  };
+
+  std::vector<RequestRecord> Serial, Sharded;
+  Run(1, Serial);
+  Run(4, Sharded);
+  ASSERT_EQ(Serial.size(), Sharded.size());
+  for (size_t K = 0; K < Serial.size(); ++K) {
+    EXPECT_EQ(Sharded[K].Id, Serial[K].Id);
+    EXPECT_EQ(Sharded[K].Outcome, Serial[K].Outcome);
+    EXPECT_EQ(Sharded[K].IR, Serial[K].IR) << "request " << Serial[K].Id;
+    EXPECT_EQ(Sharded[K].Moves, Serial[K].Moves);
+    EXPECT_EQ(Sharded[K].WeightedMoves, Serial[K].WeightedMoves);
+    // The per-request counter snapshot is exact: no worker sees another
+    // request's bumps, so 4-way sharding changes nothing.
+    EXPECT_EQ(Sharded[K].Counters, Serial[K].Counters)
+        << "per-request stat deltas diverged for request "
+        << Serial[K].Id;
+  }
+}
+
+TEST(Server, CompileRequestAttributesStatsPerRequest) {
+  // Direct compileRequest: the record's counter snapshot must contain
+  // pipeline work (nonzero deltas) and two identical requests through
+  // the same reused worker context must report identical deltas — the
+  // manager reset wipes cross-request cache state.
+  WorkerContext Ctx;
+  ServerOptions Opts;
+  Request R;
+  R.Id = 1;
+  R.Text = SimpleFunc;
+  auto Now = std::chrono::steady_clock::now();
+  RequestRecord First = Server::compileRequest(R, Ctx, Now, Opts);
+  ASSERT_TRUE(First.ok()) << First.Error;
+  EXPECT_FALSE(First.Counters.empty());
+  R.Id = 2;
+  RequestRecord Second = Server::compileRequest(R, Ctx, Now, Opts);
+  ASSERT_TRUE(Second.ok()) << Second.Error;
+  EXPECT_EQ(First.Counters, Second.Counters)
+      << "reused worker context leaked state between requests";
+  EXPECT_EQ(First.IR, Second.IR);
+}

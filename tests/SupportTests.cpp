@@ -7,11 +7,14 @@
 #include "support/BitVector.h"
 #include "support/Rng.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "support/UnionFind.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 
 using namespace lao;
 
@@ -156,4 +159,53 @@ TEST(StringUtils, Trim) {
   EXPECT_EQ(trimString("  x y \t\n"), "x y");
   EXPECT_EQ(trimString("   "), "");
   EXPECT_EQ(trimString("z"), "z");
+}
+
+TEST(ThreadPool, AsyncExceptionRethrownFromWait) {
+  ThreadPool Pool(2);
+  std::atomic<int> Ran{0};
+  Pool.async([] { throw std::runtime_error("task boom"); });
+  Pool.async([&] { ++Ran; });
+  try {
+    Pool.wait();
+    FAIL() << "wait() should rethrow the task's exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "task boom");
+  }
+  EXPECT_EQ(Ran.load(), 1) << "a throwing task must not kill its sibling";
+  // The pool survives the exception: it still runs work, and a wait()
+  // with no new failure returns normally.
+  Pool.async([&] { ++Ran; });
+  EXPECT_NO_THROW(Pool.wait());
+  EXPECT_EQ(Ran.load(), 2);
+}
+
+TEST(ThreadPool, CapturedExceptionIsConsumedByOneWait) {
+  ThreadPool Pool(2);
+  Pool.async([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // The captured pointer was handed out exactly once; an idle wait()
+  // afterwards is clean.
+  EXPECT_NO_THROW(Pool.wait());
+}
+
+TEST(ThreadPool, ParallelForExceptionRethrownAtCallSite) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Done{0};
+  try {
+    Pool.parallelFor(64, [&](size_t K) {
+      if (K == 7)
+        throw std::logic_error("item boom");
+      ++Done;
+    });
+    FAIL() << "parallelFor should rethrow the item's exception";
+  } catch (const std::logic_error &E) {
+    EXPECT_STREQ(E.what(), "item boom");
+  }
+  // The abort flag stops claiming new items, so not all 63 others need
+  // to have run; the pool itself stays usable.
+  EXPECT_LE(Done.load(), 63u);
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(32, [&](size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 32u);
 }

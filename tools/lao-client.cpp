@@ -1,0 +1,319 @@
+//===- lao-client.cpp - Batch driver for lao-server -----------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Spawns a lao-server (connected over pipes), streams a batch of
+// compile requests into it, and collects the framed responses. All
+// requests are pipelined before the first response is read (a reader
+// thread drains the server concurrently), so a multi-worker server
+// really does compile them interleaved.
+//
+//   lao-client --server="<cmd>" [options] <file.lai>...
+//     --server="cmd"      server command line, run via /bin/sh -c
+//                         (e.g. --server="./tools/lao-server --workers=4")
+//     --pipeline=<name>   preset for every request (default Lphi,ABI+C)
+//     --ssa               ask the server to build optimized SSA first
+//     --deadline-ms=N     per-request deadline
+//     --print-records     print each response's JSON record to stdout
+//     --quiet             don't print the transformed IR
+//     --selftest          ignore file arguments: submit every function
+//                         of every benchmark suite and require each
+//                         response to be byte-identical to the one-shot
+//                         in-process pipeline on the same text — the
+//                         server-vs-lao-opt equivalence gate CI runs
+//
+// Exit status: 0 when every response is ok (and, under --selftest,
+// byte-identical); 1 otherwise; 2 on bad usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "outofssa/Pipeline.h"
+#include "server/Protocol.h"
+#include "workloads/Suites.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace lao;
+
+namespace {
+
+struct Options {
+  std::string ServerCmd;
+  std::string Pipeline = "Lphi,ABI+C";
+  bool BuildSSA = false;
+  uint64_t DeadlineMs = 0;
+  bool PrintRecords = false;
+  bool Quiet = false;
+  bool Selftest = false;
+  std::vector<std::string> Files;
+};
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --server=\"<cmd>\" [--pipeline=<preset>] [--ssa] "
+               "[--deadline-ms=N] [--print-records] [--quiet] "
+               "(--selftest | <file.lai>...)\n",
+               Argv0);
+  return 2;
+}
+
+struct ServerProcess {
+  pid_t Pid = -1;
+  int WriteFd = -1; ///< Our requests -> server stdin.
+  int ReadFd = -1;  ///< Server stdout -> our responses.
+};
+
+bool spawnServer(const std::string &Cmd, ServerProcess &SP) {
+  int ToChild[2], FromChild[2];
+  if (pipe(ToChild) != 0 || pipe(FromChild) != 0)
+    return false;
+  pid_t P = fork();
+  if (P < 0)
+    return false;
+  if (P == 0) {
+    dup2(ToChild[0], STDIN_FILENO);
+    dup2(FromChild[1], STDOUT_FILENO);
+    close(ToChild[0]);
+    close(ToChild[1]);
+    close(FromChild[0]);
+    close(FromChild[1]);
+    execl("/bin/sh", "sh", "-c", Cmd.c_str(), static_cast<char *>(nullptr));
+    _exit(127);
+  }
+  close(ToChild[0]);
+  close(FromChild[1]);
+  SP.Pid = P;
+  SP.WriteFd = ToChild[1];
+  SP.ReadFd = FromChild[0];
+  return true;
+}
+
+bool writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// One request plus what the client knows to check it against.
+struct Job {
+  Request Req;
+  std::string Label;    ///< File path or suite/function name.
+  std::string Expected; ///< Byte-exact expected IR (selftest only).
+};
+
+bool loadFileJobs(const Options &Opts, std::vector<Job> &Jobs) {
+  uint64_t NextId = 1;
+  for (const std::string &Path : Opts.Files) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "cannot open '%s'\n", Path.c_str());
+      return false;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Job J;
+    J.Req.Id = NextId++;
+    J.Req.Pipeline = Opts.Pipeline;
+    J.Req.BuildSSA = Opts.BuildSSA;
+    J.Req.DeadlineMs = Opts.DeadlineMs;
+    J.Req.Text = SS.str();
+    J.Label = Path;
+    Jobs.push_back(std::move(J));
+  }
+  return true;
+}
+
+void loadSelftestJobs(const Options &Opts, std::vector<Job> &Jobs) {
+  uint64_t NextId = 1;
+  PipelineConfig Config = pipelinePreset(Opts.Pipeline);
+  for (const SuiteSpec &Spec : allSuites())
+    for (Workload &W : Spec.Make()) {
+      Job J;
+      J.Req.Id = NextId++;
+      J.Req.Pipeline = Opts.Pipeline;
+      J.Req.DeadlineMs = Opts.DeadlineMs;
+      J.Req.Text = printFunction(*W.F);
+      J.Label = std::string(Spec.Name) + "/" + W.Name;
+      // The reference result: the exact one-shot path lao-opt runs,
+      // on the same *text* the server will see (parse of a print, so
+      // value numbering matches the server's parse).
+      std::string ParseError;
+      auto Ref = parseFunction(J.Req.Text, &ParseError);
+      if (!Ref) {
+        std::fprintf(stderr, "selftest: %s does not round-trip: %s\n",
+                     J.Label.c_str(), ParseError.c_str());
+        continue;
+      }
+      runPipeline(*Ref, Config);
+      J.Expected = printFunction(*Ref);
+      Jobs.push_back(std::move(J));
+    }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    if (A.rfind("--server=", 0) == 0) {
+      Opts.ServerCmd = A.substr(std::strlen("--server="));
+    } else if (A.rfind("--pipeline=", 0) == 0) {
+      Opts.Pipeline = A.substr(std::strlen("--pipeline="));
+    } else if (A == "--ssa") {
+      Opts.BuildSSA = true;
+    } else if (A.rfind("--deadline-ms=", 0) == 0) {
+      Opts.DeadlineMs =
+          std::strtoull(A.c_str() + std::strlen("--deadline-ms="), nullptr,
+                        10);
+    } else if (A == "--print-records") {
+      Opts.PrintRecords = true;
+    } else if (A == "--quiet") {
+      Opts.Quiet = true;
+    } else if (A == "--selftest") {
+      Opts.Selftest = true;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return usage(Argv[0]);
+    } else {
+      Opts.Files.push_back(A);
+    }
+  }
+  if (Opts.ServerCmd.empty() || (Opts.Files.empty() && !Opts.Selftest))
+    return usage(Argv[0]);
+  if (Opts.Selftest &&
+      !pipelinePresetOpt(Opts.Pipeline)) {
+    std::fprintf(stderr, "unknown pipeline preset '%s'\n",
+                 Opts.Pipeline.c_str());
+    return 2;
+  }
+
+  std::vector<Job> Jobs;
+  if (Opts.Selftest)
+    loadSelftestJobs(Opts, Jobs);
+  else if (!loadFileJobs(Opts, Jobs))
+    return 1;
+
+  // A dying server must surface as a failed write, not a fatal signal.
+  signal(SIGPIPE, SIG_IGN);
+  ServerProcess SP;
+  if (!spawnServer(Opts.ServerCmd, SP)) {
+    std::fprintf(stderr, "cannot spawn server '%s'\n",
+                 Opts.ServerCmd.c_str());
+    return 1;
+  }
+
+  // Drain the server concurrently so pipelining every request up front
+  // cannot deadlock on a full pipe in either direction.
+  std::string ResponseBytes;
+  std::thread Reader([&] {
+    char Buf[65536];
+    for (ssize_t N; (N = read(SP.ReadFd, Buf, sizeof(Buf))) > 0;)
+      ResponseBytes.append(Buf, static_cast<size_t>(N));
+  });
+
+  bool WriteFailed = false;
+  for (const Job &J : Jobs)
+    if (!writeAll(SP.WriteFd, encodeRequest(J.Req))) {
+      WriteFailed = true;
+      break;
+    }
+  close(SP.WriteFd);
+  Reader.join();
+  close(SP.ReadFd);
+  int ChildStatus = 0;
+  waitpid(SP.Pid, &ChildStatus, 0);
+
+  if (WriteFailed) {
+    std::fprintf(stderr, "server went away while submitting requests\n");
+    return 1;
+  }
+  bool ServerClean =
+      WIFEXITED(ChildStatus) && WEXITSTATUS(ChildStatus) == 0;
+  if (!ServerClean)
+    std::fprintf(stderr, "server exited with status %d\n",
+                 WIFEXITED(ChildStatus) ? WEXITSTATUS(ChildStatus) : -1);
+
+  // Parse the response stream. Responses arrive in request order; check
+  // that while indexing by id for the comparisons.
+  std::istringstream In(ResponseBytes);
+  FrameLimits Limits;
+  std::map<uint64_t, Response> ById;
+  uint64_t Failures = 0, Count = 0;
+  bool OrderOk = true;
+  for (;;) {
+    Response Rsp;
+    std::string Error;
+    FrameStatus S = readResponse(In, Limits, Rsp, Error);
+    if (S == FrameStatus::Eof)
+      break;
+    if (S != FrameStatus::Ok) {
+      std::fprintf(stderr, "response stream: %s\n", Error.c_str());
+      ++Failures;
+      break;
+    }
+    ++Count;
+    OrderOk &= Count > Jobs.size() || Rsp.Id == Jobs[Count - 1].Req.Id;
+    if (Opts.PrintRecords)
+      std::printf("%s\n", Rsp.RecordJson.c_str());
+    ById[Rsp.Id] = std::move(Rsp);
+  }
+  if (!OrderOk) {
+    std::fprintf(stderr, "responses arrived out of request order\n");
+    ++Failures;
+  }
+
+  for (const Job &J : Jobs) {
+    auto It = ById.find(J.Req.Id);
+    if (It == ById.end()) {
+      std::fprintf(stderr, "%s: no response\n", J.Label.c_str());
+      ++Failures;
+      continue;
+    }
+    const Response &Rsp = It->second;
+    if (!Rsp.Ok) {
+      std::fprintf(stderr, "%s: %s\n", J.Label.c_str(),
+                   Rsp.RecordJson.c_str());
+      ++Failures;
+      continue;
+    }
+    if (Opts.Selftest && Rsp.IR != J.Expected) {
+      std::fprintf(stderr,
+                   "%s: server IR differs from one-shot pipeline\n"
+                   "--- one-shot ---\n%s--- server ---\n%s",
+                   J.Label.c_str(), J.Expected.c_str(), Rsp.IR.c_str());
+      ++Failures;
+      continue;
+    }
+    if (!Opts.Selftest && !Opts.Quiet)
+      std::printf("; --- %s ---\n%s", J.Label.c_str(), Rsp.IR.c_str());
+  }
+
+  if (Opts.Selftest)
+    std::fprintf(stderr,
+                 "selftest: %zu functions, %llu failures (server %s)\n",
+                 Jobs.size(), static_cast<unsigned long long>(Failures),
+                 ServerClean ? "clean" : "UNCLEAN");
+  return Failures == 0 && ServerClean ? 0 : 1;
+}

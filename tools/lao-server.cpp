@@ -1,0 +1,98 @@
+//===- lao-server.cpp - Persistent sharded compile daemon -----------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// Long-running compile service over the out-of-SSA pipeline: reads
+// framed requests (see src/server/Protocol.h and docs/SERVER.md) from
+// stdin, shards them across a worker pool, and writes responses to
+// stdout in request order. Diagnostics and the exit report go to
+// stderr, so stdout stays a pure protocol stream.
+//
+//   lao-server [options]
+//     --workers=N             worker pool size (default 4)
+//     --max-frame-bytes=N     request body size limit (default 4 MiB)
+//     --default-deadline-ms=N deadline for requests that carry none
+//                             (default 0 = unlimited)
+//     --stats                 print the merged per-request counter
+//                             deltas with the exit report
+//
+// Exit status: 0 on clean EOF, 1 after an unrecoverable framing error
+// (a final id-0 protocol error record is still written), 2 on bad
+// usage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace lao;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers=N] [--max-frame-bytes=N] "
+               "[--default-deadline-ms=N] [--stats]\n",
+               Argv0);
+  return 2;
+}
+
+bool parseUnsigned(const std::string &Arg, const char *Prefix,
+                   uint64_t &Out) {
+  if (Arg.rfind(Prefix, 0) != 0)
+    return false;
+  Out = std::strtoull(Arg.c_str() + std::strlen(Prefix), nullptr, 10);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  bool PrintStats = false;
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    uint64_t V = 0;
+    if (parseUnsigned(A, "--workers=", V)) {
+      Opts.NumWorkers = static_cast<unsigned>(V);
+    } else if (parseUnsigned(A, "--max-frame-bytes=", V)) {
+      Opts.Limits.MaxBodyBytes = static_cast<size_t>(V);
+    } else if (parseUnsigned(A, "--default-deadline-ms=", V)) {
+      Opts.DefaultDeadlineMs = V;
+    } else if (A == "--stats") {
+      PrintStats = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return usage(Argv[0]);
+    }
+  }
+
+  Server S(Opts);
+  int Rc = S.serve(std::cin, std::cout);
+
+  const ServerReport &R = S.report();
+  std::fprintf(stderr,
+               "lao-server: %llu requests (%llu ok, %llu errors: "
+               "%llu timeout, %llu parse, %llu oversized, %llu pipeline)\n",
+               static_cast<unsigned long long>(R.NumRequests),
+               static_cast<unsigned long long>(R.NumOk),
+               static_cast<unsigned long long>(R.NumErrors),
+               static_cast<unsigned long long>(R.NumTimeouts),
+               static_cast<unsigned long long>(R.NumParseErrors),
+               static_cast<unsigned long long>(R.NumOversized),
+               static_cast<unsigned long long>(R.NumPipelineErrors));
+  if (PrintStats) {
+    std::fprintf(stderr, "=== merged per-request counters ===\n");
+    for (const auto &[Key, Value] : R.MergedCounters)
+      std::fprintf(stderr, "%12llu  %s\n",
+                   static_cast<unsigned long long>(Value), Key.c_str());
+  }
+  return Rc;
+}
