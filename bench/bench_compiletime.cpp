@@ -45,6 +45,7 @@ constexpr ScaleSpec ScaleSweep[] = {
     {"scale_n120", 120, 3, 8},
     {"scale_n320", 320, 3, 4},
     {"scale_n640", 640, 4, 2},
+    {"scale_n1280", 1280, 4, 1},
 };
 
 /// Builds the suite for one sweep point: deterministic seeds, normalized

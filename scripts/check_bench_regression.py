@@ -19,12 +19,19 @@ speed, deterministic, and they fail the build whenever a change
      engine's liveness-probe count must keep shrinking relative to the
      pairwise bound (sum |A|*|B| per query) as functions grow.
 
-Usage: check_bench_regression.py <baseline.json> <fresh.json> \
+Usage: check_bench_regression.py [--report-seconds] \
+           <baseline.json> <fresh.json> \
            [<baseline2.json> <fresh2.json> ...]
 
 Extra baseline/fresh pairs are checked with the same rules (CI passes
 both BENCH_compiletime.json and BENCH_regpressure.json); the
 sublinearity check only engages on files whose suites match scale_n*.
+
+--report-seconds additionally prints a baseline-vs-fresh wall-clock
+table (whole-pipeline 'seconds' per record, plus any per-pass
+breakdown) as GitHub-flavored markdown. The table is informational
+only — machine-dependent timings never gate — and CI uploads it as the
+job's step summary. Records lacking a 'seconds' field are skipped.
 
 A fresh count <= baseline passes (improvements update the committed
 baseline on the next reference run). Everything that could hide a
@@ -54,6 +61,10 @@ CHECKED_COUNTERS = (
     # reconstruction crept back in.
     "coalesce.rebuilds",
     "coalesce.confirm_scans",
+    # Out-of-SSA copy insertion: the replay emits repair/phi/pin copies
+    # and nothing else; growth means elision (or the repair analysis)
+    # regressed.
+    "translate.inserts",
 )
 
 # Must match the baseline exactly: the tentpole engine work (and any
@@ -192,26 +203,81 @@ def check_sublinearity(fresh, failures):
     return len(points)
 
 
+def seconds_report(baseline, fresh):
+    """Markdown lines comparing wall-clock seconds, baseline vs fresh.
+
+    Informational only: timings depend on the machine, so nothing here
+    ever contributes a failure. Rows cover every (suite, config) with a
+    'seconds' measurement on both sides; per-pass breakdowns ride along
+    when both records carry matching per_pass_seconds entries.
+    """
+    lines = []
+    for key, base_rec in sorted(baseline.items()):
+        fresh_rec = fresh.get(key)
+        if fresh_rec is None:
+            continue
+        base_s = base_rec.get("seconds")
+        new_s = fresh_rec.get("seconds")
+        if not isinstance(base_s, (int, float)) or \
+                not isinstance(new_s, (int, float)) or new_s <= 0:
+            continue
+        lines.append(
+            "| %s | total | %.4f | %.4f | %.2fx |"
+            % (key_str(key), base_s, new_s, base_s / new_s)
+        )
+        base_pp = base_rec.get("per_pass_seconds", {})
+        fresh_pp = fresh_rec.get("per_pass_seconds", {})
+        if not isinstance(base_pp, dict) or not isinstance(fresh_pp, dict):
+            continue
+        for pname in sorted(base_pp):
+            bp, fp = base_pp.get(pname), fresh_pp.get(pname)
+            if not isinstance(bp, (int, float)) or \
+                    not isinstance(fp, (int, float)) or fp <= 0:
+                continue
+            lines.append(
+                "| %s | %s | %.4f | %.4f | %.2fx |"
+                % (key_str(key), pname, bp, fp, bp / fp)
+            )
+    if not lines:
+        return []
+    header = [
+        "### Wall-clock comparison (non-gating)",
+        "",
+        "| record | pass | baseline s | fresh s | speedup |",
+        "|---|---|---|---|---|",
+    ]
+    return header + lines + [""]
+
+
 def main(argv):
-    if len(argv) < 3 or len(argv) % 2 != 1:
+    args = list(argv[1:])
+    report_seconds = "--report-seconds" in args
+    if report_seconds:
+        args.remove("--report-seconds")
+    if len(args) < 2 or len(args) % 2 != 0:
         sys.stderr.write(__doc__)
         return 2
 
     failures = []
+    report = []
     compared = records = scale_points = 0
-    for i in range(1, len(argv), 2):
+    for i in range(0, len(args), 2):
         try:
-            with open(argv[i]) as f:
-                baseline = records_by_key(json.load(f), argv[i])
-            with open(argv[i + 1]) as f:
-                fresh = records_by_key(json.load(f), argv[i + 1])
+            with open(args[i]) as f:
+                baseline = records_by_key(json.load(f), args[i])
+            with open(args[i + 1]) as f:
+                fresh = records_by_key(json.load(f), args[i + 1])
         except (MalformedBench, json.JSONDecodeError, OSError) as err:
             failures.append(str(err))
             continue
         compared += check_counters(baseline, fresh, failures)
         scale_points += check_sublinearity(fresh, failures)
         records += len(baseline)
+        if report_seconds:
+            report.extend(seconds_report(baseline, fresh))
 
+    if report:
+        print("\n".join(report))
     if failures:
         print("bench regression check FAILED:")
         for line in failures:

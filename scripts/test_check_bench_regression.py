@@ -36,7 +36,7 @@ def record(suite="valcc", config="Lphi,ABI+C", counters=None, **fields):
 
 
 class CheckerHarness(unittest.TestCase):
-    def run_checker(self, baseline, fresh):
+    def run_checker(self, baseline, fresh, *extra_args):
         """Writes the two docs to temp files and runs main(). Returns
         (exit_status, captured_stdout)."""
         out = io.StringIO()
@@ -50,7 +50,8 @@ class CheckerHarness(unittest.TestCase):
                     else:
                         json.dump(doc, f)
             with contextlib.redirect_stdout(out):
-                status = cbr.main(["prog", base_path, fresh_path])
+                status = cbr.main(["prog", *extra_args, base_path,
+                                   fresh_path])
         return status, out.getvalue()
 
     def assert_fails_naming(self, baseline, fresh, *needles):
@@ -156,6 +157,43 @@ class TestMalformedInput(CheckerHarness):
         err = io.StringIO()
         with contextlib.redirect_stderr(err):
             self.assertEqual(cbr.main(["prog", "only-one.json"]), 2)
+
+
+class TestSecondsReport(CheckerHarness):
+    def test_table_absent_without_flag(self):
+        base = bench_doc([record(seconds=2.0)])
+        fresh = bench_doc([record(seconds=1.0)])
+        status, out = self.run_checker(base, fresh)
+        self.assertEqual(status, 0, out)
+        self.assertNotIn("Wall-clock", out)
+
+    def test_report_never_gates(self):
+        # A 10x wall-clock slowdown with identical counters must still
+        # pass: timings are machine-dependent and informational only.
+        base = bench_doc([record(seconds=1.0)])
+        fresh = bench_doc([record(seconds=10.0)])
+        status, out = self.run_checker(base, fresh, "--report-seconds")
+        self.assertEqual(status, 0, out)
+        self.assertIn("Wall-clock comparison (non-gating)", out)
+        self.assertIn("valcc/Lphi,ABI+C", out)
+        self.assertIn("0.10x", out)
+
+    def test_per_pass_rows_ride_along(self):
+        base = bench_doc([record(seconds=2.0,
+                                 per_pass_seconds={"translate": 1.0})])
+        fresh = bench_doc([record(seconds=1.0,
+                                  per_pass_seconds={"translate": 0.5})])
+        status, out = self.run_checker(base, fresh, "--report-seconds")
+        self.assertEqual(status, 0, out)
+        self.assertIn("| translate |", out)
+        self.assertIn("2.00x", out)
+
+    def test_records_without_seconds_are_skipped(self):
+        status, out = self.run_checker(bench_doc([record()]),
+                                       bench_doc([record()]),
+                                       "--report-seconds")
+        self.assertEqual(status, 0, out)
+        self.assertNotIn("Wall-clock", out)
 
 
 class TestSublinearity(CheckerHarness):

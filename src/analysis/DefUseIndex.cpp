@@ -12,10 +12,7 @@ DefUseIndex::DefUseIndex(const Function &F) {
   size_t NV = F.numValues();
   Vars.resize(NV);
 
-  size_t NumInsts = 0;
-  for (const auto &BB : F.blocks())
-    NumInsts += BB->instructions().size();
-  Ordinals.reserve(NumInsts);
+  Ordinals.assign(F.instrRefLimit(), ~0u);
 
   // Block-epoch markers (block id + 1; 0 = never) for one-pass dedup of
   // the per-block summaries. LastDef doubles as the upward-exposure
@@ -45,7 +42,7 @@ DefUseIndex::DefUseIndex(const Function &F) {
       }
     };
     for (const Instruction &I : BB->instructions()) {
-      Ordinals.emplace(&I, Ord);
+      Ordinals[I.selfRef()] = Ord;
       if (I.isPhi()) {
         // Result defined at block entry; arguments live at the end of
         // the matching predecessor, not here.

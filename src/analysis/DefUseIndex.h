@@ -31,7 +31,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace lao {
@@ -46,9 +45,10 @@ public:
 
   /// Textual position of \p I within its block (phis included).
   uint32_t ordinalOf(const Instruction *I) const {
-    auto It = Ordinals.find(I);
-    assert(It != Ordinals.end() && "instruction not in the indexed function");
-    return It->second;
+    assert(I->selfRef() < Ordinals.size() &&
+           Ordinals[I->selfRef()] != ~0u &&
+           "instruction not in the indexed function");
+    return Ordinals[I->selfRef()];
   }
 
   /// Kind of the first occurrence of \p V in \p Block at an ordinal
@@ -105,7 +105,10 @@ private:
   };
 
   std::vector<VarOcc> Vars;
-  std::unordered_map<const Instruction *, uint32_t> Ordinals;
+  /// Ordinal per instruction, indexed by InstrRef (dense; ~0u = unused
+  /// slot). Replaces a pointer-keyed hash map: construction is a stores-
+  /// only sweep and ordinalOf is a single indexed load.
+  std::vector<uint32_t> Ordinals;
 };
 
 } // namespace lao

@@ -13,13 +13,8 @@ using namespace lao;
 std::unique_ptr<Function> lao::cloneFunction(const Function &F) {
   auto Clone = std::make_unique<Function>(F.name());
 
-  // Recreate the value table: ids must match, so create virtuals in
-  // order with identical names.
-  for (RegId V = Target::NumPhysRegs; V < F.numValues(); ++V) {
-    RegId NewId = Clone->makeVirtual(F.valueName(V));
-    assert(NewId == V && "value id mismatch while cloning");
-    (void)NewId;
-  }
+  // The value table is copied verbatim (ids, names, physical flags).
+  Clone->copyValueTableFrom(F);
 
   // Recreate blocks (ids are assigned in creation order).
   std::vector<BasicBlock *> NewBlocks;
@@ -29,34 +24,22 @@ std::unique_ptr<Function> lao::cloneFunction(const Function &F) {
     NewBlocks.push_back(NB);
   }
 
+  // Instructions are record copies — one fixed-size record memcpy plus a
+  // slab memcpy per instruction — with the block pointers (branch targets
+  // and phi incoming) remapped into the clone.
   for (const auto &BB : F.blocks()) {
     BasicBlock *NB = NewBlocks[BB->id()];
     for (const Instruction &I : BB->instructions()) {
-      Instruction NI(I.op());
-      for (unsigned K = 0; K < I.numDefs(); ++K) {
-        NI.addDef(I.def(K));
-        NI.pinDef(K, I.defPin(K));
-      }
-      if (I.isPhi()) {
-        for (unsigned K = 0; K < I.numUses(); ++K) {
-          NI.addIncoming(I.use(K), NewBlocks[I.incomingBlock(K)->id()]);
-          NI.pinUse(K, I.usePin(K));
-        }
-      } else {
-        for (unsigned K = 0; K < I.numUses(); ++K) {
-          NI.addUse(I.use(K));
-          NI.pinUse(K, I.usePin(K));
-        }
-      }
-      NI.setImm(I.imm());
-      if (I.op() == Opcode::Call)
-        NI.setCallee(I.callee());
-      if (I.op() == Opcode::Jump || I.op() == Opcode::Branch) {
-        NI.setTarget(0, NewBlocks[I.target(0)->id()]);
-        if (I.op() == Opcode::Branch)
-          NI.setTarget(1, NewBlocks[I.target(1)->id()]);
-      }
-      NB->append(std::move(NI));
+      InstrRef R = Clone->cloneInstr(I);
+      Instruction &NI = Clone->instr(R);
+      if (NI.target(0))
+        NI.setTarget(0, NewBlocks[NI.target(0)->id()]);
+      if (NI.target(1))
+        NI.setTarget(1, NewBlocks[NI.target(1)->id()]);
+      if (NI.isPhi())
+        for (unsigned K = 0; K < NI.numUses(); ++K)
+          NI.setIncomingBlock(K, NewBlocks[NI.incomingBlock(K)->id()]);
+      NB->instructions().appendRef(R);
     }
   }
   return Clone;

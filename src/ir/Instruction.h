@@ -11,6 +11,18 @@
 /// Pinning is the paper's mechanism for expressing renaming constraints
 /// (Section 2.1) and, later, coalescing decisions (Section 3).
 ///
+/// Storage model (the arena/SoA core, see docs/IR.md): an Instruction is a
+/// fixed-size record. Operands and pins live in one slot run laid out as
+/// [defs | defpins | uses | usepins]; the common case (<= 2 defs, <= 3
+/// uses) fits the record's inline slots and never allocates. Larger
+/// instructions (parcopies, calls, inputs) spill the run to the owning
+/// Function's bump arena — or, while the instruction is still *detached*
+/// (built by value, not yet appended to a block), to a heap slab that
+/// InstrList::insert migrates into the arena. Instructions inside a
+/// function are addressed by stable 32-bit InstrRef indices into the
+/// function's chunked instruction table; Prev/Next links thread them into
+/// per-block sequences, replacing the former std::list<Instruction>.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LAO_IR_INSTRUCTION_H
@@ -20,18 +32,24 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <string>
-#include <vector>
 
 namespace lao {
 
 class BasicBlock;
+class Function;
+class InstrList;
+
+/// Stable index of an instruction within its Function's table.
+using InstrRef = uint32_t;
+constexpr InstrRef InvalidInstrRef = ~0u;
 
 /// Opcodes of the mini-LAI instruction set. Each renaming-constraint class
 /// of the paper is represented: ABI registers (Call/Ret/Input/Output),
 /// 2-operand instructions (More/AutoAdd), the dedicated SP register
 /// (SpAdjust), and predication (Psi).
-enum class Opcode {
+enum class Opcode : uint8_t {
   // Data movement.
   Mov,      ///< d = s
   Make,     ///< d = imm
@@ -86,16 +104,95 @@ inline bool isTerminatorOpcode(Opcode Op) {
   return Op == Opcode::Jump || Op == Opcode::Branch || Op == Opcode::Ret;
 }
 
+/// Lightweight read-only view of an instruction's def or use ids.
+/// Replaces the former const std::vector<RegId>& accessors; iteration and
+/// indexing are unchanged, but the data lives in the instruction's slot
+/// run (inline or arena), not in a per-instruction heap vector.
+class OperandSpan {
+public:
+  OperandSpan(const RegId *Data, uint32_t N) : Data(Data), N(N) {}
+  const RegId *begin() const { return Data; }
+  const RegId *end() const { return Data + N; }
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+  RegId operator[](size_t I) const {
+    assert(I < N && "operand index out of range");
+    return Data[I];
+  }
+
+private:
+  const RegId *Data;
+  uint32_t N;
+};
+
 /// A mini-LAI instruction.
 ///
-/// Operand pins express renaming constraints: DefPins[I] (resp. UsePins[I])
+/// Operand pins express renaming constraints: defPin(I) (resp. usePin(I))
 /// is the resource the I-th def (resp. use) is pinned to, or InvalidReg.
 /// Following the paper, *variable pinning* is the pinning of a variable's
 /// unique definition; phi arguments are implicitly pinned to the resource
-/// of the phi result and carry no explicit UsePins entries.
+/// of the phi result and carry no explicit use-pin entries.
+///
+/// References and pointers to instructions that live inside a Function
+/// are stable: the chunked table never moves records, so passes may hold
+/// Instruction* across inserts and erases of *other* instructions.
 class Instruction {
+  /// Inline slot-run capacity: 2 defs + 3 uses (with their pins) covers
+  /// every fixed-arity opcode, so the common case allocates nothing.
+  static constexpr uint32_t InlineDefCap = 2;
+  static constexpr uint32_t InlineUseCap = 3;
+  static constexpr uint32_t NumInlineSlots =
+      2 * InlineDefCap + 2 * InlineUseCap;
+
+  /// Flags bits. Heap* mark detached-owned heap slabs that the record
+  /// destructor must free; instructions inside a function never carry
+  /// them (interning migrates slabs into the arena).
+  enum : uint8_t { HeapSlots = 1, HeapIncoming = 2 };
+
 public:
-  explicit Instruction(Opcode Op) : Op(Op) {}
+  explicit Instruction(Opcode Op)
+      : Op(Op), DefCap(InlineDefCap), UseCap(InlineUseCap) {}
+
+  ~Instruction() {
+    if (Flags & HeapSlots)
+      delete[] Ext;
+    if (Flags & HeapIncoming)
+      delete[] Inc;
+  }
+
+  /// Copying deep-copies into a *detached* instruction (no parent, heap
+  /// slabs if the operands overflow the inline run).
+  Instruction(const Instruction &O) : Instruction(O.Op) { copyPayload(O); }
+  Instruction &operator=(const Instruction &) = delete;
+
+  /// Moving steals detached slabs; moving from an attached instruction
+  /// deep-copies (its slabs belong to the function's arena).
+  Instruction(Instruction &&O) noexcept : Instruction(static_cast<Opcode>(O.Op)) {
+    if (O.Parent) {
+      copyPayload(O);
+      return;
+    }
+    std::memcpy(InlineSlots, O.InlineSlots, sizeof(InlineSlots));
+    Ext = O.Ext;
+    Inc = O.Inc;
+    Targets[0] = O.Targets[0];
+    Targets[1] = O.Targets[1];
+    CalleeStr = O.CalleeStr;
+    Imm = O.Imm;
+    Flags = O.Flags;
+    NDefs = O.NDefs;
+    NUses = O.NUses;
+    DefCap = O.DefCap;
+    UseCap = O.UseCap;
+    IncCap = O.IncCap;
+    O.Ext = nullptr;
+    O.Inc = nullptr;
+    O.Flags = 0;
+    O.NDefs = O.NUses = 0;
+    O.DefCap = InlineDefCap;
+    O.UseCap = InlineUseCap;
+    O.IncCap = 0;
+  }
 
   Opcode op() const { return Op; }
 
@@ -110,88 +207,99 @@ public:
            Op == Opcode::SpAdjust;
   }
 
-  unsigned numDefs() const { return Defs.size(); }
-  unsigned numUses() const { return Uses.size(); }
+  unsigned numDefs() const { return NDefs; }
+  unsigned numUses() const { return NUses; }
 
   RegId def(unsigned I) const {
-    assert(I < Defs.size() && "def index out of range");
-    return Defs[I];
+    assert(I < NDefs && "def index out of range");
+    return slots()[I];
   }
   RegId use(unsigned I) const {
-    assert(I < Uses.size() && "use index out of range");
-    return Uses[I];
+    assert(I < NUses && "use index out of range");
+    return slots()[2 * DefCap + I];
   }
 
   void setDef(unsigned I, RegId R) {
-    assert(I < Defs.size() && "def index out of range");
-    Defs[I] = R;
+    assert(I < NDefs && "def index out of range");
+    slots()[I] = R;
   }
   void setUse(unsigned I, RegId R) {
-    assert(I < Uses.size() && "use index out of range");
-    Uses[I] = R;
+    assert(I < NUses && "use index out of range");
+    slots()[2 * DefCap + I] = R;
   }
 
   void addDef(RegId R) {
-    Defs.push_back(R);
-    DefPins.push_back(InvalidReg);
+    if (NDefs == DefCap)
+      growSlots(DefCap * 2, UseCap);
+    RegId *S = slots();
+    S[NDefs] = R;
+    S[DefCap + NDefs] = InvalidReg;
+    ++NDefs;
   }
   void addUse(RegId R) {
-    Uses.push_back(R);
-    UsePins.push_back(InvalidReg);
+    if (NUses == UseCap)
+      growSlots(DefCap, UseCap * 2);
+    RegId *S = slots() + 2 * DefCap;
+    S[NUses] = R;
+    S[UseCap + NUses] = InvalidReg;
+    ++NUses;
   }
 
   RegId defPin(unsigned I) const {
-    assert(I < DefPins.size() && "def index out of range");
-    return DefPins[I];
+    assert(I < NDefs && "def index out of range");
+    return slots()[DefCap + I];
   }
   RegId usePin(unsigned I) const {
-    assert(I < UsePins.size() && "use index out of range");
-    return UsePins[I];
+    assert(I < NUses && "use index out of range");
+    return slots()[2 * DefCap + UseCap + I];
   }
   void pinDef(unsigned I, RegId Res) {
-    assert(I < DefPins.size() && "def index out of range");
-    DefPins[I] = Res;
+    assert(I < NDefs && "def index out of range");
+    slots()[DefCap + I] = Res;
   }
   void pinUse(unsigned I, RegId Res) {
-    assert(I < UsePins.size() && "use index out of range");
-    UsePins[I] = Res;
+    assert(I < NUses && "use index out of range");
+    slots()[2 * DefCap + UseCap + I] = Res;
   }
 
-  const std::vector<RegId> &defs() const { return Defs; }
-  const std::vector<RegId> &uses() const { return Uses; }
+  OperandSpan defs() const { return OperandSpan(slots(), NDefs); }
+  OperandSpan uses() const { return OperandSpan(slots() + 2 * DefCap, NUses); }
 
   /// Immediate operand (Make/AddI/More/AutoAdd/SpAdjust).
   int64_t imm() const { return Imm; }
   void setImm(int64_t V) { Imm = V; }
 
-  /// Callee name (Call only).
-  const std::string &callee() const { return Callee; }
-  void setCallee(std::string Name) { Callee = std::move(Name); }
+  /// Callee name (Call only). Names are interned process-wide so the
+  /// record stays fixed-size.
+  const std::string &callee() const;
+  void setCallee(const std::string &Name);
 
-  /// Phi incoming blocks, aligned with uses(). Phi only.
-  const std::vector<BasicBlock *> &incomingBlocks() const {
-    assert(isPhi() && "not a phi");
-    return Incoming;
-  }
+  /// Phi incoming block for the I-th use. Phi only.
   BasicBlock *incomingBlock(unsigned I) const {
-    assert(isPhi() && I < Incoming.size() && "bad phi incoming index");
-    return Incoming[I];
+    assert(isPhi() && I < NUses && I < IncCap && "bad phi incoming index");
+    return Inc[I];
   }
   void addIncoming(RegId V, BasicBlock *Pred) {
     assert(isPhi() && "not a phi");
     addUse(V);
-    Incoming.push_back(Pred);
+    if (NUses > IncCap)
+      growIncoming(IncCap ? IncCap * 2 : 2);
+    Inc[NUses - 1] = Pred;
   }
   void setIncomingBlock(unsigned I, BasicBlock *Pred) {
-    assert(isPhi() && I < Incoming.size() && "bad phi incoming index");
-    Incoming[I] = Pred;
+    assert(isPhi() && I < NUses && "bad phi incoming index");
+    Inc[I] = Pred;
   }
   /// Removes the \p I-th (value, pred) pair of a phi.
   void removeIncoming(unsigned I) {
-    assert(isPhi() && I < Incoming.size() && "bad phi incoming index");
-    Uses.erase(Uses.begin() + I);
-    UsePins.erase(UsePins.begin() + I);
-    Incoming.erase(Incoming.begin() + I);
+    assert(isPhi() && I < NUses && "bad phi incoming index");
+    RegId *U = slots() + 2 * DefCap;
+    for (unsigned K = I + 1; K < NUses; ++K) {
+      U[K - 1] = U[K];
+      U[UseCap + K - 1] = U[UseCap + K];
+      Inc[K - 1] = Inc[K];
+    }
+    --NUses;
   }
 
   /// Branch/Jump targets: Jump uses Targets[0]; Branch uses both.
@@ -204,16 +312,53 @@ public:
     Targets[I] = BB;
   }
 
+  /// The function whose table holds this instruction, or nullptr while
+  /// detached.
+  Function *parent() const { return Parent; }
+
+  /// This instruction's stable table index (attached instructions only).
+  InstrRef selfRef() const {
+    assert(Parent && "detached instruction has no ref");
+    return Self;
+  }
+
 private:
-  Opcode Op;
-  std::vector<RegId> Defs;
-  std::vector<RegId> Uses;
-  std::vector<RegId> DefPins;
-  std::vector<RegId> UsePins;
-  std::vector<BasicBlock *> Incoming;
+  friend class Function;
+  friend class InstrList;
+
+  RegId *slots() { return Ext ? Ext : InlineSlots; }
+  const RegId *slots() const { return Ext ? Ext : InlineSlots; }
+
+  /// Number of RegId slots a run with the given capacities occupies.
+  static uint32_t runSize(uint32_t DCap, uint32_t UCap) {
+    return 2 * DCap + 2 * UCap;
+  }
+
+  /// Re-lays the slot run with the given (larger) capacities; defined in
+  /// IRCore.cpp (arena when attached, heap when detached).
+  void growSlots(uint32_t NewDefCap, uint32_t NewUseCap);
+  void growIncoming(uint32_t NewCap);
+
+  /// Deep copy of everything but Op (already set) from \p O.
+  void copyPayload(const Instruction &O);
+
+  // --- Storage. The record is fixed-size; all variable-length state
+  // --- lives behind Ext / Inc (or in InlineSlots).
+  RegId InlineSlots[NumInlineSlots] = {};
+  RegId *Ext = nullptr;       ///< Overflow slot run, layout as inline.
+  BasicBlock **Inc = nullptr; ///< Phi incoming blocks (aligned with uses).
+  Function *Parent = nullptr;
   BasicBlock *Targets[2] = {nullptr, nullptr};
+  const std::string *CalleeStr = nullptr; ///< Interned; null = "".
   int64_t Imm = 0;
-  std::string Callee;
+  InstrRef Self = InvalidInstrRef;
+  InstrRef PrevRef = InvalidInstrRef; ///< Chain link within the block.
+  InstrRef NextRef = InvalidInstrRef; ///< Chain link within the block.
+  Opcode Op;
+  uint8_t Flags = 0;
+  uint16_t NDefs = 0, NUses = 0;
+  uint16_t DefCap, UseCap;
+  uint16_t IncCap = 0;
 };
 
 } // namespace lao

@@ -9,6 +9,7 @@
 #include "support/Stats.h"
 
 #include <cassert>
+#include <deque>
 #include <map>
 #include <set>
 
@@ -16,35 +17,18 @@ using namespace lao;
 
 namespace {
 
-/// Abstract state of the mark phase: for each resource class
-/// representative, the SSA variable whose value it currently holds,
-/// stored densely (indexed by representative id). Two sentinels:
-/// BottomHolder (== InvalidReg, "conflicting values") and AbsentHolder
-/// ("never written on some path"). They are distinct lattice points —
+/// Abstract state of the mark phase: for each *written* resource-class
+/// slot (compactly renumbered, see SlotOf), the SSA variable whose value
+/// the resource currently holds. Two sentinels: BottomHolder
+/// (== InvalidReg, "conflicting values") and AbsentHolder ("never
+/// written on some path"). They are distinct lattice points —
 /// absent-meet-absent stays absent while any disagreement bottoms out —
 /// but both mean "not holding anything" to queries.
 using HolderState = std::vector<RegId>;
 
 constexpr RegId BottomHolder = InvalidReg;
 constexpr RegId AbsentHolder = InvalidReg - 1;
-
-/// Pointwise merge: slots must agree, otherwise bottom. (The dense
-/// encoding makes the old map semantics uniform: a key missing from one
-/// map and present in another — with any value — disagrees, hence
-/// bottom; missing everywhere stays absent.)
-HolderState mergeStates(const std::vector<const HolderState *> &Preds,
-                        size_t NumSlots) {
-  if (Preds.empty())
-    return HolderState(NumSlots, AbsentHolder);
-  HolderState Result = *Preds[0];
-  for (size_t K = 1; K < Preds.size(); ++K) {
-    const HolderState &P = *Preds[K];
-    for (size_t I = 0; I < NumSlots; ++I)
-      if (Result[I] != P[I])
-        Result[I] = BottomHolder;
-  }
-  return Result;
-}
+constexpr uint32_t NoSlot = ~0u;
 
 class Translator {
 public:
@@ -69,6 +53,21 @@ private:
   size_t NumOrigValues;
   OutOfSSAStats Stats;
 
+  /// Compact renumbering of written resource slots: SlotOf[Res] is the
+  /// dense state index of resource representative Res, or NoSlot if no
+  /// instruction ever writes it. Dataflow states only carry written
+  /// slots — every query resolves through a definition, a use pin or a
+  /// phi, all of which write their slot, so unwritten slots are Absent
+  /// everywhere and need no storage.
+  std::vector<uint32_t> SlotOf;
+  uint32_t NumSlots = 0;
+
+  /// Per-block transfer effects. The writes a block performs are
+  /// state-independent (slot, value) pairs, so the transfer function is
+  /// "apply this delta list in order" — no instruction walk per
+  /// dataflow iteration.
+  std::vector<std::vector<std::pair<uint32_t, RegId>>> Deltas;
+
   std::vector<HolderState> In, Out;
   std::vector<bool> Visited;
   std::set<RegId> RepairNeeded;
@@ -79,10 +78,20 @@ private:
     return Ctx.resourceOf(V);
   }
 
-  static RegId holderOf(const HolderState &S, RegId Res) {
-    RegId H = S[Res];
+  uint32_t slotOf(RegId Res) const {
+    assert(Res < SlotOf.size() && SlotOf[Res] != NoSlot &&
+           "query on a never-written resource slot");
+    return SlotOf[Res];
+  }
+
+  static RegId holderOfSlot(const HolderState &S, uint32_t Slot) {
+    RegId H = S[Slot];
     // BottomHolder already is InvalidReg; only Absent needs mapping.
     return H == AbsentHolder ? InvalidReg : H;
+  }
+
+  RegId holderOf(const HolderState &S, RegId Res) const {
+    return holderOfSlot(S, slotOf(Res));
   }
 
   /// Location of \p V's value under \p S: its resource if the resource
@@ -110,72 +119,128 @@ private:
       for (const Instruction &I : Succ->instructions()) {
         if (!I.isPhi())
           break;
-        S[repOf(I.def(0))] = I.def(0);
+        S[slotOf(repOf(I.def(0)))] = I.def(0);
       }
   }
 
-  /// Transfer function used by the dataflow solve (no queries, no
-  /// rewriting — state effects only; must mirror replayBlock exactly).
-  HolderState transfer(const BasicBlock *BB, HolderState S) {
-    for (const Instruction &I : BB->instructions()) {
-      if (I.isPhi()) {
-        S[repOf(I.def(0))] = I.def(0);
-        continue;
+  uint32_t internSlot(RegId Res) {
+    if (SlotOf[Res] == NoSlot)
+      SlotOf[Res] = NumSlots++;
+    return SlotOf[Res];
+  }
+
+  /// One pass over the function: assigns compact indices to every
+  /// written slot (in first-write order, deterministic) and records each
+  /// block's delta list, mirroring the replay state updates exactly.
+  void buildSlotsAndDeltas() {
+    SlotOf.assign(F.numValues(), NoSlot);
+    NumSlots = 0;
+    Deltas.assign(F.numBlocks(), {});
+    for (const auto &BBPtr : F.blocks()) {
+      auto &D = Deltas[BBPtr->id()];
+      for (const Instruction &I : BBPtr->instructions()) {
+        if (I.isPhi()) {
+          D.push_back({internSlot(repOf(I.def(0))), I.def(0)});
+          continue;
+        }
+        if (I.isTerminator()) // Phi-related parallel copies at block end.
+          for (BasicBlock *Succ : BBPtr->successors())
+            for (const Instruction &Phi : Succ->instructions()) {
+              if (!Phi.isPhi())
+                break;
+              D.push_back({internSlot(repOf(Phi.def(0))), Phi.def(0)});
+            }
+        for (unsigned K = 0; K < I.numUses(); ++K)
+          if (I.usePin(K) != InvalidReg)
+            D.push_back({internSlot(repOf(I.usePin(K))), I.use(K)});
+        for (RegId Dv : I.defs())
+          D.push_back(
+              {internSlot(F.isPhysical(Dv) ? Ctx.resourceOf(Dv) : repOf(Dv)),
+               Dv});
       }
-      if (I.isTerminator())
-        applyPhiCopyUpdates(BB, S);
-      for (unsigned K = 0; K < I.numUses(); ++K)
-        if (I.usePin(K) != InvalidReg)
-          S[repOf(I.usePin(K))] = I.use(K);
-      for (RegId D : I.defs())
-        S[F.isPhysical(D) ? Ctx.resourceOf(D) : repOf(D)] = D;
     }
-    return S;
   }
 
+  /// Forward dataflow to the maximum fixpoint. The lattice is flat and
+  /// the transfer functions are slot-wise constant-or-identity, so the
+  /// fixpoint is unique — worklist order does not affect the result,
+  /// only how fast it converges. Unvisited predecessors are ignored
+  /// (optimistic start), exactly like the former round-robin solver; the
+  /// entry block merges an extra "function start" path on which nothing
+  /// holds a value, which bottoms out values flowing around a loop back
+  /// to the entry.
   void solve() {
+    buildSlotsAndDeltas();
     size_t NB = F.numBlocks();
-    In.assign(NB, HolderState(NumOrigValues, AbsentHolder));
-    Out.assign(NB, HolderState(NumOrigValues, AbsentHolder));
+    In.assign(NB, HolderState(NumSlots, AbsentHolder));
+    Out.assign(NB, HolderState(NumSlots, AbsentHolder));
     Visited.assign(NB, false);
 
-    // The entry has an implicit "function start" path on which no
-    // resource holds anything; merging the empty state bottoms out
-    // any values flowing around a loop back to the entry.
-    const HolderState EmptyState(NumOrigValues, AbsentHolder);
-    std::vector<const HolderState *> PredOuts;
+    std::vector<char> InList(NB, true);
+    std::deque<BasicBlock *> Worklist;
+    for (BasicBlock *BB : Cfg.rpo())
+      Worklist.push_back(BB);
 
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (BasicBlock *BB : Cfg.rpo()) {
-        PredOuts.clear();
-        if (BB == &F.entry())
-          PredOuts.push_back(&EmptyState);
-        for (BasicBlock *P : Cfg.preds(BB))
-          if (Visited[P->id()])
-            PredOuts.push_back(&Out[P->id()]);
-        HolderState NewIn = mergeStates(PredOuts, NumOrigValues);
-        HolderState NewOut = transfer(BB, NewIn);
-        if (!Visited[BB->id()] || NewIn != In[BB->id()] ||
-            NewOut != Out[BB->id()]) {
-          Changed = true;
-          In[BB->id()] = std::move(NewIn);
-          Out[BB->id()] = std::move(NewOut);
-          Visited[BB->id()] = true;
+    HolderState NewIn;
+    while (!Worklist.empty()) {
+      BasicBlock *BB = Worklist.front();
+      Worklist.pop_front();
+      InList[BB->id()] = false;
+
+      bool Merged = false;
+      if (BB == &F.entry()) {
+        NewIn.assign(NumSlots, AbsentHolder);
+        Merged = true;
+      }
+      for (BasicBlock *P : Cfg.preds(BB)) {
+        if (!Visited[P->id()])
+          continue;
+        const HolderState &PO = Out[P->id()];
+        if (!Merged) {
+          NewIn = PO;
+          Merged = true;
+        } else {
+          for (size_t K = 0; K < NumSlots; ++K)
+            if (NewIn[K] != PO[K])
+              NewIn[K] = BottomHolder;
         }
+      }
+      if (!Merged) // Unreachable block: only the all-absent state.
+        NewIn.assign(NumSlots, AbsentHolder);
+
+      bool First = !Visited[BB->id()];
+      Visited[BB->id()] = true;
+      if (!First && NewIn == In[BB->id()])
+        continue;
+      In[BB->id()] = NewIn;
+
+      for (const auto &[Slot, V] : Deltas[BB->id()])
+        NewIn[Slot] = V; // NewIn now holds the block's Out.
+      if (First || NewIn != Out[BB->id()]) {
+        Out[BB->id()] = NewIn;
+        for (BasicBlock *S : BB->successors())
+          if (!InList[S->id()]) {
+            Worklist.push_back(S);
+            InList[S->id()] = true;
+          }
       }
     }
   }
 
   /// Walks every block with the solved In state. In mark mode (Rewrite ==
   /// false) it records which variables need repairs; in rewrite mode it
-  /// rebuilds each block's instruction list with renamed operands,
-  /// parallel copies and repairs. New lists are installed only after all
-  /// blocks are processed: building a predecessor's parallel copy needs
-  /// the successor's phis, which installation deletes.
+  /// rebuilds each block's sequence by *relinking* retained instructions
+  /// into a staging list (an O(1) splice per instruction — records never
+  /// move or copy) and inserting the parallel copies and repairs. Phis
+  /// and identity moves stay behind and are freed when the staged list
+  /// is installed. Installation happens only after all blocks are
+  /// processed: building a predecessor's parallel copy needs the
+  /// successor's phis.
   void replay(bool Rewrite) {
-    std::vector<BasicBlock::InstList> NewLists(F.numBlocks());
+    std::vector<BasicBlock::InstList> NewLists;
+    NewLists.reserve(F.numBlocks());
+    for (size_t I = 0; I < F.numBlocks(); ++I)
+      NewLists.emplace_back(&F);
     for (const auto &BBPtr : F.blocks())
       replayBlock(BBPtr.get(), Rewrite, NewLists[BBPtr->id()]);
     if (Rewrite)
@@ -190,6 +255,7 @@ private:
     Copy.addDef(RepairVar.at(V));
     Copy.addUse(repOf(V));
     NewList.push_back(std::move(Copy));
+    ++Stats.NumInserts;
   }
 
   void replayBlock(BasicBlock *BB, bool Rewrite,
@@ -198,15 +264,19 @@ private:
     std::vector<RegId> PendingPhiRepairs;
     bool InPhiGroup = true;
 
-    for (Instruction &I : BB->instructions()) {
+    auto &Insts = BB->instructions();
+    for (auto It = Insts.begin(); It != Insts.end();) {
+      Instruction &I = *It;
+      auto Next = std::next(It);
       if (I.isPhi()) {
         assert(InPhiGroup && "phi after non-phi");
-        S[repOf(I.def(0))] = I.def(0);
+        S[slotOf(repOf(I.def(0)))] = I.def(0);
         if (Rewrite) {
           if (RepairNeeded.count(I.def(0)))
             PendingPhiRepairs.push_back(I.def(0));
           ++Stats.NumPhisRemoved;
         }
+        It = Next;
         continue;
       }
       if (InPhiGroup) {
@@ -254,6 +324,7 @@ private:
         if (Rewrite && ParCopy.numDefs() != 0) {
           Stats.NumPhiCopies += ParCopy.numDefs();
           NewList.push_back(std::move(ParCopy));
+          ++Stats.NumInserts;
         }
       }
 
@@ -262,7 +333,7 @@ private:
       // apply their effect, then resolve every operand against the
       // post-copy state — an unpinned use whose resource was just
       // clobbered by a sibling's pin copy must read its repair.
-      const std::vector<RegId> OrigUses = I.uses();
+      const std::vector<RegId> OrigUses(I.uses().begin(), I.uses().end());
       Instruction PinCopy(Opcode::ParCopy);
       for (unsigned K = 0; K < I.numUses(); ++K) {
         RegId V = OrigUses[K];
@@ -288,10 +359,11 @@ private:
       // Pin-copy state updates (value now also in the pinned resource).
       for (unsigned K = 0; K < I.numUses(); ++K)
         if (I.usePin(K) != InvalidReg)
-          S[repOf(I.usePin(K))] = OrigUses[K];
+          S[slotOf(repOf(I.usePin(K)))] = OrigUses[K];
       if (Rewrite && PinCopy.numDefs() != 0) {
         Stats.NumPinCopies += PinCopy.numDefs();
         NewList.push_back(std::move(PinCopy));
+        ++Stats.NumInserts;
       }
       // Resolve operands under the post-copy state.
       for (unsigned K = 0; K < I.numUses(); ++K) {
@@ -312,7 +384,7 @@ private:
       for (unsigned K = 0; K < I.numDefs(); ++K) {
         RegId D = I.def(K);
         RegId Res = repOf(D);
-        S[Res] = D;
+        S[slotOf(Res)] = D;
         if (Rewrite) {
           I.setDef(K, Res);
           if (RepairNeeded.count(D))
@@ -321,13 +393,16 @@ private:
       }
 
       if (Rewrite) {
-        // Drop moves that became identities through renaming.
+        // Relink the (renamed-in-place) instruction into the staged
+        // list; moves that became identities through renaming stay
+        // behind and are freed when the staged list is installed.
         bool Identity = I.isCopy() && I.def(0) == I.use(0);
         if (!Identity)
-          NewList.push_back(std::move(I));
+          NewList.splice(NewList.end(), Insts, It);
         for (RegId V : RepairsAfter)
           emitRepair(V, NewList);
       }
+      It = Next;
     }
 
     // Clear pins: the output is no longer pinned SSA. The new list is
@@ -355,6 +430,7 @@ OutOfSSAStats lao::translateOutOfSSA(Function &F, PinningContext &Ctx,
   LAO_STAT(translate, pin_copies) += Stats.NumPinCopies;
   LAO_STAT(translate, elided_copies) += Stats.NumElidedCopies;
   LAO_STAT(translate, phis_removed) += Stats.NumPhisRemoved;
+  LAO_STAT(translate, inserts) += Stats.NumInserts;
   return Stats;
 }
 

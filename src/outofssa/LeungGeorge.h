@@ -46,6 +46,7 @@ struct OutOfSSAStats {
   unsigned NumPinCopies = 0;      ///< Copies satisfying use pins.
   unsigned NumElidedCopies = 0;   ///< Copies avoided (value in place).
   unsigned NumPhisRemoved = 0;
+  unsigned NumInserts = 0;        ///< Instructions inserted (all kinds).
 };
 
 /// Translates \p F out of SSA under the pinning in \p Ctx. Mutates F.

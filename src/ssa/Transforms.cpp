@@ -134,7 +134,8 @@ unsigned lao::valueNumber(Function &F) {
           ++It;
           continue;
         }
-        Key K{I.op(), I.uses(), I.imm()};
+        Key K{I.op(), std::vector<RegId>(I.uses().begin(), I.uses().end()),
+              I.imm()};
         auto Found = Table.find(K);
         if (Found != Table.end()) {
           Replacement[I.def(0)] = Found->second;

@@ -1,0 +1,122 @@
+//===- Arena.cpp - Bump allocator with chunk recycling -----------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include "support/Stats.h"
+
+#include <mutex>
+#include <new>
+
+using namespace lao;
+
+namespace {
+
+/// Process-wide cache of standard-size chunks, bounded in bytes.
+/// Oversized chunks are never cached (they are workload-specific).
+struct ChunkCache {
+  std::mutex M;
+  std::vector<char *> Free;
+  size_t Limit = 32u << 20;
+
+  char *pop() {
+    std::lock_guard<std::mutex> G(M);
+    if (Free.empty())
+      return nullptr;
+    char *Mem = Free.back();
+    Free.pop_back();
+    return Mem;
+  }
+
+  /// Takes ownership of \p Mem; frees it if the cache is full.
+  void push(char *Mem) {
+    {
+      std::lock_guard<std::mutex> G(M);
+      if (Free.size() * Arena::ChunkBytes < Limit) {
+        Free.push_back(Mem);
+        return;
+      }
+    }
+    ::operator delete(Mem);
+  }
+};
+
+ChunkCache &cache() {
+  // Leaked holder: arenas with static storage duration (test fixtures,
+  // benchmark workload tables) run their destructors during exit and must
+  // still find the cache alive.
+  static auto *C = new ChunkCache();
+  return *C;
+}
+
+} // namespace
+
+void Arena::setChunkCacheLimit(size_t Bytes) {
+  ChunkCache &C = cache();
+  std::lock_guard<std::mutex> G(C.M);
+  C.Limit = Bytes;
+  while (C.Free.size() * Arena::ChunkBytes > Bytes) {
+    ::operator delete(C.Free.back());
+    C.Free.pop_back();
+  }
+}
+
+void *Arena::allocSlow(size_t Size, size_t Align) {
+  assert(Align <= alignof(std::max_align_t) && "over-aligned arena request");
+  // Advance through already-owned chunks first (after a reset()).
+  while (CurIdx + 1 < Chunks.size()) {
+    ++CurIdx;
+    Cur = Chunks[CurIdx].Mem;
+    End = Cur + Chunks[CurIdx].Size;
+    uintptr_t P =
+        (reinterpret_cast<uintptr_t>(Cur) + Align - 1) & ~(Align - 1);
+    if (P + Size <= reinterpret_cast<uintptr_t>(End)) {
+      Cur = reinterpret_cast<char *>(P + Size);
+      Allocated += Size;
+      return reinterpret_cast<void *>(P);
+    }
+  }
+  // Need a new chunk: standard size unless the request is larger.
+  size_t ChunkSize = Size + Align <= ChunkBytes ? ChunkBytes : Size + Align;
+  char *Mem = nullptr;
+  if (ChunkSize == ChunkBytes)
+    Mem = cache().pop();
+  if (!Mem)
+    Mem = static_cast<char *>(::operator new(ChunkSize));
+  Chunks.push_back({Mem, ChunkSize});
+  CurIdx = Chunks.size() - 1;
+  Reserved += ChunkSize;
+  LAO_STAT(ir, arena_bytes) += ChunkSize;
+  Cur = Mem;
+  End = Mem + ChunkSize;
+  uintptr_t P = (reinterpret_cast<uintptr_t>(Cur) + Align - 1) & ~(Align - 1);
+  assert(P + Size <= reinterpret_cast<uintptr_t>(End) && "chunk sizing bug");
+  Cur = reinterpret_cast<char *>(P + Size);
+  Allocated += Size;
+  return reinterpret_cast<void *>(P);
+}
+
+void Arena::reset() {
+  if (Allocated > HighWaterMark)
+    HighWaterMark = Allocated;
+  Allocated = 0;
+  CurIdx = 0;
+  if (Chunks.empty()) {
+    Cur = End = nullptr;
+    return;
+  }
+  Cur = Chunks.front().Mem;
+  End = Cur + Chunks.front().Size;
+}
+
+Arena::~Arena() {
+  for (const Chunk &C : Chunks) {
+    if (C.Size == ChunkBytes)
+      cache().push(C.Mem);
+    else
+      ::operator delete(C.Mem);
+  }
+}

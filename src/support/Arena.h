@@ -1,0 +1,111 @@
+//===- Arena.h - Bump allocator with chunk recycling ------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena backing the IR core: Function places its dense
+/// instruction table, operand slabs and phi-incoming arrays here, so a
+/// whole function's IR is a handful of large chunks instead of one heap
+/// node per instruction/operand vector.
+///
+/// Chunks are recycled through a process-wide bounded cache: destroying
+/// (or reset()-ing) an arena returns its standard-size chunks for the
+/// next arena to reuse, which gives the compile service request-scoped
+/// arena recycling for free — a worker's next parseFunction draws its
+/// chunks from the cache instead of the system allocator.
+///
+/// Allocation and high-water statistics are kept per arena (see
+/// Arena::stats) and aggregated into the ir.arena_* registry counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SUPPORT_ARENA_H
+#define LAO_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace lao {
+
+/// Bump allocator over recycled chunks. Memory is never freed piecemeal;
+/// reset() (or destruction) releases everything at once.
+class Arena {
+public:
+  /// Standard chunk size. Oversized requests get a dedicated chunk.
+  static constexpr size_t ChunkBytes = 1u << 16;
+
+  Arena() = default;
+  ~Arena();
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align (a power of two).
+  void *alloc(size_t Size, size_t Align) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    uintptr_t P = (reinterpret_cast<uintptr_t>(Cur) + Align - 1) & ~(Align - 1);
+    if (P + Size > reinterpret_cast<uintptr_t>(End))
+      return allocSlow(Size, Align);
+    Cur = reinterpret_cast<char *>(P + Size);
+    Allocated += Size;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Typed array allocation (uninitialized storage).
+  template <typename T> T *allocArray(size_t N) {
+    return static_cast<T *>(alloc(N * sizeof(T), alignof(T)));
+  }
+
+  /// Releases all allocations but keeps the chunks for reuse by this
+  /// arena. The compile service resets a worker's arena between
+  /// requests instead of paying malloc/free per request.
+  void reset();
+
+  /// Per-arena allocation statistics.
+  struct StatsInfo {
+    size_t BytesAllocated = 0; ///< Bytes handed out since construction.
+    size_t BytesReserved = 0;  ///< Sum of live chunk sizes.
+    size_t HighWater = 0;      ///< Max BytesAllocated between resets.
+    size_t NumChunks = 0;      ///< Live chunks.
+  };
+  StatsInfo stats() const {
+    StatsInfo S;
+    S.BytesAllocated = Allocated;
+    S.BytesReserved = Reserved;
+    S.HighWater = Allocated > HighWaterMark ? Allocated : HighWaterMark;
+    S.NumChunks = Chunks.size();
+    return S;
+  }
+
+  size_t bytesAllocated() const { return Allocated; }
+  size_t bytesReserved() const { return Reserved; }
+
+  /// Bounds the process-wide chunk cache (bytes); 0 disables recycling.
+  /// Exposed for tests; the default (32 MiB) suits the compile service.
+  static void setChunkCacheLimit(size_t Bytes);
+
+private:
+  struct Chunk {
+    char *Mem;
+    size_t Size;
+  };
+
+  void *allocSlow(size_t Size, size_t Align);
+
+  std::vector<Chunk> Chunks;
+  size_t CurIdx = 0; ///< Chunk currently bumped (when Chunks non-empty).
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t Allocated = 0;
+  size_t Reserved = 0;
+  size_t HighWaterMark = 0;
+};
+
+} // namespace lao
+
+#endif // LAO_SUPPORT_ARENA_H

@@ -15,7 +15,6 @@ StatCounter::StatCounter(const char *Pass, const char *Name)
   StatsRegistry::instance().add(this);
 }
 
-thread_local StatsScope *StatsScope::Active = nullptr;
 
 StatsSnapshot StatsScope::snapshot() const {
   StatsSnapshot Snap;

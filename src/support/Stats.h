@@ -67,13 +67,13 @@ void mergeSnapshot(StatsSnapshot &Into, const StatsSnapshot &From);
 /// branch per bump.
 class StatsScope {
 public:
-  StatsScope() : Prev(Active) { Active = this; }
-  ~StatsScope() { Active = Prev; }
+  StatsScope() : Prev(activeSlot()) { activeSlot() = this; }
+  ~StatsScope() { activeSlot() = Prev; }
   StatsScope(const StatsScope &) = delete;
   StatsScope &operator=(const StatsScope &) = delete;
 
   /// The scope recording bumps on the calling thread, or nullptr.
-  static StatsScope *active() { return Active; }
+  static StatsScope *active() { return activeSlot(); }
 
   /// Called from StatCounter::operator+= on the owning thread.
   void record(const StatCounter *C, uint64_t Delta) { Local[C] += Delta; }
@@ -87,9 +87,17 @@ public:
   StatsSnapshot takeAndReset();
 
 private:
+  /// The innermost scope on this thread. A function-local thread_local
+  /// (rather than an extern class static): every TU then reaches it
+  /// through the same inline wrapper, which sidesteps a GCC issue where
+  /// cross-TU extern-TLS access trips -fsanitize=null.
+  static StatsScope *&activeSlot() {
+    static thread_local StatsScope *Active = nullptr;
+    return Active;
+  }
+
   std::unordered_map<const StatCounter *, uint64_t> Local;
   StatsScope *Prev;
-  static thread_local StatsScope *Active;
 };
 
 /// One named statistic. Construct only through LAO_STAT (or as a static

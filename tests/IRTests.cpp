@@ -9,6 +9,7 @@
 #include "ir/CFG.h"
 #include "ir/DotExport.h"
 #include "ir/IRBuilder.h"
+#include "workloads/Suites.h"
 
 #include <gtest/gtest.h>
 
@@ -120,6 +121,22 @@ fin:
   EXPECT_EQ(P1, printFunction(*F2));
 }
 
+TEST(Parser, RoundTripsAllSuitesByteIdentical) {
+  // Print -> parse -> print must be byte-identical on every suite
+  // function: the arena-backed core stores operands in slot runs, and
+  // this pins down that no ordering or naming drifts through the
+  // parser/printer pair.
+  for (const SuiteSpec &Spec : allSuites()) {
+    for (const Workload &W : Spec.Make()) {
+      std::string P1 = printFunction(*W.F);
+      std::string Error;
+      auto F2 = parseFunction(P1, &Error);
+      ASSERT_TRUE(F2) << Spec.Name << "/" << W.Name << ": " << Error;
+      EXPECT_EQ(P1, printFunction(*F2)) << Spec.Name << "/" << W.Name;
+    }
+  }
+}
+
 TEST(Parser, ReportsErrors) {
   std::string Error;
   EXPECT_EQ(parseFunction("garbage", &Error), nullptr);
@@ -163,6 +180,105 @@ three:
   // Mutating the clone must not affect the original.
   C->createBlock("extra");
   EXPECT_NE(F->numBlocks(), C->numBlocks());
+}
+
+TEST(Clone, MutatedCloneLeavesOriginalIntact) {
+  auto F = parse(R"(
+func @ind {
+entry:
+  input %a^R0, %b^R1
+  %s = add %a, %b
+  branch %s, one, two
+one:
+  jump three
+two:
+  jump three
+three:
+  %x = phi [%s, one], [%a, two]
+  %y = mul %x, %b
+  ret %y^R0
+}
+)");
+  ASSERT_TRUE(F);
+  const std::string Before = printFunction(*F);
+  auto C = cloneFunction(*F);
+
+  // Rewrite operands, pins, and immediates in the clone; erase an
+  // instruction; append another. Record copies must not share slabs.
+  for (const auto &BB : C->blocks())
+    for (Instruction &I : BB->instructions()) {
+      for (unsigned K = 0; K < I.numUses(); ++K)
+        I.setUse(K, Target::R7);
+      if (I.numDefs())
+        I.pinDef(0, Target::R3);
+      I.setImm(99);
+    }
+  auto &EntryInsts = C->entry().instructions();
+  EntryInsts.erase(std::next(EntryInsts.begin()));
+
+  EXPECT_EQ(printFunction(*F), Before);
+  EXPECT_NE(printFunction(*C), Before);
+}
+
+TEST(Function, InstrRefsStableAcrossInsertEraseClone) {
+  Function F("stab");
+  BasicBlock *BB = F.createBlock("entry");
+  IRBuilder B(BB);
+  auto P = B.input({"a", "b"});
+  RegId S = B.add(P[0], P[1]);
+  B.ret(S);
+
+  Instruction &Add = *std::next(BB->instructions().begin());
+  ASSERT_EQ(Add.op(), Opcode::Add);
+  const InstrRef AddRef = Add.selfRef();
+  const Instruction *AddPtr = &Add;
+
+  // Insert enough instructions to force new table chunks, erase one,
+  // and clone the function: the record must not move and its ref must
+  // keep resolving to it.
+  auto RetIt = std::prev(BB->instructions().end());
+  for (int I = 0; I < 1000; ++I) {
+    Instruction Mv(Opcode::Mov);
+    Mv.addDef(F.makeVirtual());
+    Mv.addUse(S);
+    BB->insert(RetIt, std::move(Mv));
+  }
+  BB->instructions().erase(std::next(BB->instructions().begin(), 2));
+  auto C = cloneFunction(F);
+
+  EXPECT_EQ(&F.instr(AddRef), AddPtr);
+  EXPECT_EQ(AddPtr->op(), Opcode::Add);
+  EXPECT_EQ(AddPtr->selfRef(), AddRef);
+  EXPECT_EQ(AddPtr->def(0), S);
+  // The clone's records are its own; same ref, different storage.
+  EXPECT_NE(&C->instr(AddRef), AddPtr);
+  EXPECT_EQ(C->instr(AddRef).op(), Opcode::Add);
+}
+
+TEST(Function, InlineOperandsNeverTouchSlabs) {
+  // Every fixed-arity opcode (<= 2 defs, <= 3 uses) must fit the
+  // record's inline slots: building a whole function out of them may
+  // not allocate a single operand slab byte.
+  Function F("inline");
+  BasicBlock *BB = F.createBlock("entry");
+  IRBuilder B(BB);
+  auto P = B.input({"a", "b"});
+  RegId V = P[0];
+  for (int I = 0; I < 200; ++I)
+    V = B.add(V, P[1]);
+  B.ret(V);
+  EXPECT_EQ(F.operandSlabBytes(), 0u);
+  EXPECT_GT(F.arena().bytesAllocated(), 0u);
+
+  // A wide parallel copy overflows by design — the slab accounting must
+  // see it.
+  Instruction Par(Opcode::ParCopy);
+  for (int I = 0; I < 8; ++I) {
+    Par.addDef(F.makeVirtual());
+    Par.addUse(V);
+  }
+  BB->insert(std::prev(BB->instructions().end()), std::move(Par));
+  EXPECT_GT(F.operandSlabBytes(), 0u);
 }
 
 TEST(Verifier, CatchesMissingTerminator) {
