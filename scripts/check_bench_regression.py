@@ -80,6 +80,16 @@ IDENTICAL_FIELDS = (
     "spills",
     "spill_accesses",
     "failures",
+    # Compile-service measurements (BENCH_server.json): the served IR is
+    # deterministic, so framing counts and payload bytes are too.
+    # Throughput lives in "seconds"/"functions_per_sec" and is never
+    # gated; arena reuse is scheduling-dependent and likewise ungated.
+    "frames",
+    "batches",
+    "functions",
+    "bytes_in",
+    "ir_bytes",
+    "errors",
 )
 
 # Sublinearity margin: the probes/pair_cost ratio of the largest scale_n*

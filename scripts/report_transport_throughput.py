@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Client-level transport throughput: batched socket vs per-frame stdio.
+
+Times two complete lao-client runs over the same jobs and prints a
+GitHub-flavored markdown table plus the functions/sec ratio:
+
+  * per-frame stdio — one LAO1 REQ per function through the spawned
+    server's stdin/stdout pipes (the pre-socket transport);
+  * batched socket — the same functions packed into LAO1 BAT frames
+    over a Unix-domain socket.
+
+Two workloads, because they bracket the service overhead from opposite
+sides:
+
+  * selftest — every suite function once (146 compiles, byte-identity
+    checked against the one-shot pipeline). Compile-bound: the ratio
+    hovers near 1x and that is the honest number for big functions.
+  * tiny — one small function replayed N times (default 20000). The
+    per-frame framing/record/reorder cost dominates, so this is where
+    batching pays; the reference container measures >2x.
+
+Timings are machine-dependent and never gate (exit 0 unless a client
+run itself fails); CI appends the output to the step summary. Stdlib
+only.
+
+Usage: report_transport_throughput.py <build-dir>
+           [--tiny-jobs=N] [--batch=N] [--reps=N] [--workers=N]
+"""
+
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+
+TINY_FUNC = """\
+func @f {
+entry:
+  input %a, %b
+  %c = cmplt %a, %b
+  branch %c, then, else
+then:
+  %x = addi %a, 1
+  jump join
+else:
+  %y = addi %b, 2
+  jump join
+join:
+  %z = phi [%x, then], [%y, else]
+  ret %z
+}
+"""
+
+
+def timed_run(cmd):
+    t0 = time.monotonic()
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE)
+    elapsed = time.monotonic() - t0
+    if proc.returncode != 0:
+        sys.stderr.write("FAILED: %s\n%s" %
+                         (" ".join(cmd), proc.stderr.decode()))
+        sys.exit(1)
+    return elapsed
+
+
+def median_secs(cmd, reps):
+    return statistics.median(timed_run(cmd) for _ in range(reps))
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    build = argv[1]
+    tiny_jobs, batch, reps, workers = 20000, 256, 3, 4
+    for arg in argv[2:]:
+        if arg.startswith("--tiny-jobs="):
+            tiny_jobs = int(arg.split("=", 1)[1])
+        elif arg.startswith("--batch="):
+            batch = int(arg.split("=", 1)[1])
+        elif arg.startswith("--reps="):
+            reps = int(arg.split("=", 1)[1])
+        elif arg.startswith("--workers="):
+            workers = int(arg.split("=", 1)[1])
+        else:
+            sys.stderr.write("unknown option %r\n" % arg)
+            return 2
+
+    client = os.path.join(build, "tools", "lao-client")
+    server = os.path.join(build, "tools", "lao-server")
+    with tempfile.TemporaryDirectory() as tmp:
+        tiny = os.path.join(tmp, "tiny.lai")
+        with open(tiny, "w") as f:
+            f.write(TINY_FUNC)
+        sock = os.path.join(tmp, "throughput.sock")
+
+        def stdio_cmd(jobs):
+            return [client, "--server=%s --workers=%d" % (server, workers),
+                    "--quiet"] + jobs
+
+        def socket_cmd(jobs):
+            return [client,
+                    "--server=%s --workers=%d --listen-unix=%s"
+                    % (server, workers, sock),
+                    "--connect-unix=%s" % sock, "--batch=%d" % batch,
+                    "--quiet"] + jobs
+
+        rows = []
+        for name, jobs, extra in (
+                ("selftest (146 fn)", ["--selftest"], []),
+                ("tiny x%d" % tiny_jobs, [tiny] * tiny_jobs, [])):
+            n_fns = 146 if jobs == ["--selftest"] else tiny_jobs
+            stdio_s = median_secs(stdio_cmd(jobs + extra), reps)
+            sock_s = median_secs(socket_cmd(jobs + extra), reps)
+            rows.append((name, n_fns, stdio_s, sock_s))
+
+    print("### Transport throughput: batched socket vs per-frame stdio "
+          "(non-gating)")
+    print()
+    print("%d workers, batch=%d, median of %d complete client runs "
+          "(spawn + replay + shutdown)." % (workers, batch, reps))
+    print()
+    print("| workload | functions | per-frame stdio fn/s | "
+          "batched socket fn/s | speedup |")
+    print("|---|---|---|---|---|")
+    for name, n_fns, stdio_s, sock_s in rows:
+        print("| %s | %d | %.0f | %.0f | %.2fx |" %
+              (name, n_fns, n_fns / stdio_s, n_fns / sock_s,
+               stdio_s / sock_s))
+    print()
+    print("The selftest replay is compile-bound (framing is a small tax "
+          "on big functions); the tiny workload isolates the per-frame "
+          "overhead that batching amortizes.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

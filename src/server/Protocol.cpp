@@ -52,9 +52,12 @@ bool skipBody(std::istream &In, size_t N) {
 }
 
 /// Reads and parses a "LAO1 <kind> <id> <bytes>" header line, skipping
-/// blank lines before it. Returns Eof/Malformed/Ok.
-FrameStatus readHeader(std::istream &In, const char *Kind, uint64_t &Id,
-                       uint64_t &Bytes, std::string &ErrorOut) {
+/// blank lines before it. \p KindA / \p KindB are the kinds acceptable
+/// at this point of the stream (request side: REQ/BAT; response side:
+/// RSP/RSB); \p KindOut reports which matched. Returns Eof/Malformed/Ok.
+FrameStatus readHeaderOf(std::istream &In, const char *KindA,
+                         const char *KindB, FrameKind &KindOut, uint64_t &Id,
+                         uint64_t &Bytes, std::string &ErrorOut) {
   std::string Line;
   for (;;) {
     if (!std::getline(In, Line))
@@ -63,12 +66,15 @@ FrameStatus readHeader(std::istream &In, const char *Kind, uint64_t &Id,
       break;
   }
   std::vector<std::string> Parts = splitString(Line, ' ');
-  if (Parts.size() != 4 || Parts[0] != "LAO1" || Parts[1] != Kind ||
-      !parseU64(Parts[2], Id) || !parseU64(Parts[3], Bytes)) {
-    ErrorOut = formatStr("bad %s frame header: '%s'", Kind, Line.c_str());
-    return FrameStatus::Malformed;
+  if (Parts.size() == 4 && Parts[0] == "LAO1" &&
+      (Parts[1] == KindA || (KindB && Parts[1] == KindB)) &&
+      parseU64(Parts[2], Id) && parseU64(Parts[3], Bytes)) {
+    KindOut = (KindB && Parts[1] == KindB) ? FrameKind::Batch
+                                           : FrameKind::Single;
+    return FrameStatus::Ok;
   }
-  return FrameStatus::Ok;
+  ErrorOut = formatStr("bad %s frame header: '%s'", KindA, Line.c_str());
+  return FrameStatus::Malformed;
 }
 
 /// Splits a frame body into its header block and payload at the first
@@ -87,31 +93,187 @@ bool splitBody(const std::string &Body, std::string &Headers,
   return true;
 }
 
-} // namespace
+/// Parses the "key: value" option block shared by REQ and BAT bodies.
+/// "count" is only legal when \p CountOut is non-null (batch frames);
+/// \p SawCount reports whether it appeared. Returns false with
+/// \p ErrorOut set on the first bad line — a body-level error.
+bool parseOptions(const std::string &Headers, std::string &Pipeline,
+                  bool &BuildSSA, uint64_t &DeadlineMs, uint64_t &SleepMs,
+                  uint64_t *CountOut, bool *SawCount, std::string &ErrorOut) {
+  for (const std::string &Line : splitString(Headers, '\n')) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos) {
+      ErrorOut = formatStr("bad option line '%s'", Line.c_str());
+      return false;
+    }
+    std::string Key = trimString(Line.substr(0, Colon));
+    std::string Value = trimString(Line.substr(Colon + 1));
+    if (Key == "pipeline") {
+      Pipeline = Value;
+    } else if (Key == "ssa") {
+      BuildSSA = Value == "1" || Value == "true";
+    } else if (Key == "deadline_ms" || Key == "sleep_ms" ||
+               (CountOut && Key == "count")) {
+      uint64_t V = 0;
+      if (!parseU64(Value, V)) {
+        ErrorOut = formatStr("option %s wants a number, got '%s'",
+                             Key.c_str(), Value.c_str());
+        return false;
+      }
+      if (Key == "deadline_ms")
+        DeadlineMs = V;
+      else if (Key == "sleep_ms")
+        SleepMs = V;
+      else {
+        *CountOut = V;
+        *SawCount = true;
+      }
+    } else {
+      ErrorOut = formatStr("unknown request option '%s'", Key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
 
-std::string lao::encodeRequest(const Request &R) {
+/// Walks a payload of "<bytes>\n<blob>\n" items (the BAT/RSB item
+/// sub-framing) and appends each blob to \p Items. Returns false with
+/// \p ErrorOut set when the sub-framing is inconsistent with the
+/// enclosing frame body.
+bool parseItems(const std::string &Payload, std::vector<std::string> &Items,
+                std::string &ErrorOut) {
+  size_t Pos = 0;
+  while (Pos < Payload.size()) {
+    size_t Nl = Payload.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      ErrorOut = "batch item length line is not newline-terminated";
+      return false;
+    }
+    uint64_t Len = 0;
+    if (!parseU64(Payload.substr(Pos, Nl - Pos), Len)) {
+      ErrorOut = formatStr("bad batch item length line '%s'",
+                           Payload.substr(Pos, Nl - Pos).c_str());
+      return false;
+    }
+    if (Nl + 1 + Len > Payload.size()) {
+      ErrorOut = "batch item overruns the enclosing frame body";
+      return false;
+    }
+    Items.push_back(Payload.substr(Nl + 1, Len));
+    Pos = Nl + 1 + Len;
+    if (Pos < Payload.size()) {
+      if (Payload[Pos] != '\n') {
+        ErrorOut = "batch item is not newline-terminated";
+        return false;
+      }
+      ++Pos;
+    }
+  }
+  return true;
+}
+
+/// Renders the shared option block of a request frame body.
+std::string encodeOptions(const std::string &Pipeline, bool BuildSSA,
+                          uint64_t DeadlineMs, uint64_t SleepMs) {
   std::string Body;
-  Body += "pipeline: " + R.Pipeline + "\n";
-  if (R.BuildSSA)
+  Body += "pipeline: " + Pipeline + "\n";
+  if (BuildSSA)
     Body += "ssa: 1\n";
-  if (R.DeadlineMs)
+  if (DeadlineMs)
     Body += formatStr("deadline_ms: %llu\n",
-                      static_cast<unsigned long long>(R.DeadlineMs));
-  if (R.SleepMs)
+                      static_cast<unsigned long long>(DeadlineMs));
+  if (SleepMs)
     Body += formatStr("sleep_ms: %llu\n",
-                      static_cast<unsigned long long>(R.SleepMs));
-  Body += "\n";
-  Body += R.Text;
-  return formatStr("LAO1 REQ %llu %zu\n",
-                   static_cast<unsigned long long>(R.Id), Body.size()) +
+                      static_cast<unsigned long long>(SleepMs));
+  return Body;
+}
+
+/// Wraps \p Body in a "LAO1 <kind> <id> <bytes>" frame.
+std::string frame(const char *Kind, uint64_t Id, const std::string &Body) {
+  return formatStr("LAO1 %s %llu %zu\n", Kind,
+                   static_cast<unsigned long long>(Id), Body.size()) +
          Body + "\n";
 }
 
+/// Reads the framed body after a header, handling the oversized and
+/// truncated cases uniformly. On Ok, \p Body holds the payload.
+FrameStatus readFramedBody(std::istream &In, const FrameLimits &Limits,
+                           uint64_t Bytes, const char *What,
+                           std::string &Body, std::string &ErrorOut) {
+  if (Bytes > Limits.MaxBodyBytes) {
+    if (!skipBody(In, Bytes)) {
+      ErrorOut = formatStr("truncated stream inside an oversized %s body",
+                           What);
+      return FrameStatus::Malformed;
+    }
+    ErrorOut = formatStr("%s body of %llu bytes exceeds the %zu-byte "
+                         "frame limit",
+                         What, static_cast<unsigned long long>(Bytes),
+                         Limits.MaxBodyBytes);
+    return FrameStatus::Oversized;
+  }
+  if (!readBody(In, Bytes, Body)) {
+    ErrorOut = formatStr("truncated stream inside a %s body", What);
+    return FrameStatus::Malformed;
+  }
+  return FrameStatus::Ok;
+}
+
+/// Parses a RSP-shaped body (record, blank line, IR) into \p Out.
+bool parseResponseBody(const std::string &Body, Response &Out,
+                       std::string &ErrorOut) {
+  std::string Record, IR;
+  if (!splitBody(Body, Record, IR)) {
+    ErrorOut = "response body has no record/IR separator";
+    return false;
+  }
+  // The record is machine-readable JSON, but this project is
+  // deliberately writer-only on JSON: clients that need structure keep
+  // the line as-is, and Ok is mirrored textually right after "id" so a
+  // substring probe is exact.
+  Out.RecordJson = trimString(Record);
+  Out.IR = std::move(IR);
+  Out.Ok = Out.RecordJson.find("\"ok\":true") != std::string::npos;
+  return true;
+}
+
+} // namespace
+
+std::string lao::encodeRequest(const Request &R) {
+  std::string Body =
+      encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs, R.SleepMs);
+  Body += "\n";
+  Body += R.Text;
+  return frame("REQ", R.Id, Body);
+}
+
 std::string lao::encodeResponse(const Response &R) {
-  std::string Body = R.RecordJson + "\n\n" + R.IR;
-  return formatStr("LAO1 RSP %llu %zu\n",
-                   static_cast<unsigned long long>(R.Id), Body.size()) +
-         Body + "\n";
+  return frame("RSP", R.Id, R.RecordJson + "\n\n" + R.IR);
+}
+
+std::string lao::encodeBatchRequest(const BatchRequest &R) {
+  std::string Body =
+      encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs, R.SleepMs);
+  Body += formatStr("count: %zu\n", R.Texts.size());
+  Body += "\n";
+  for (const std::string &Text : R.Texts) {
+    Body += formatStr("%zu\n", Text.size());
+    Body += Text;
+    Body += "\n";
+  }
+  return frame("BAT", R.Id, Body);
+}
+
+std::string lao::encodeBatchResponse(const BatchResponse &R) {
+  std::string Body = R.SummaryJson;
+  Body += "\n\n";
+  for (const Response &Item : R.Items) {
+    std::string ItemBody = Item.RecordJson + "\n\n" + Item.IR;
+    Body += formatStr("%zu\n", ItemBody.size());
+    Body += ItemBody;
+    Body += "\n";
+  }
+  return frame("RSB", R.Id, Body);
 }
 
 FrameStatus lao::readRequest(std::istream &In, const FrameLimits &Limits,
@@ -119,25 +281,15 @@ FrameStatus lao::readRequest(std::istream &In, const FrameLimits &Limits,
   ErrorOut.clear();
   Out = Request();
   uint64_t Bytes = 0;
-  FrameStatus S = readHeader(In, "REQ", Out.Id, Bytes, ErrorOut);
+  FrameKind Kind;
+  FrameStatus S =
+      readHeaderOf(In, "REQ", nullptr, Kind, Out.Id, Bytes, ErrorOut);
   if (S != FrameStatus::Ok)
     return S;
-  if (Bytes > Limits.MaxBodyBytes) {
-    if (!skipBody(In, Bytes)) {
-      ErrorOut = "truncated stream inside an oversized request body";
-      return FrameStatus::Malformed;
-    }
-    ErrorOut = formatStr("request body of %llu bytes exceeds the %zu-byte "
-                         "frame limit",
-                         static_cast<unsigned long long>(Bytes),
-                         Limits.MaxBodyBytes);
-    return FrameStatus::Oversized;
-  }
   std::string Body;
-  if (!readBody(In, Bytes, Body)) {
-    ErrorOut = "truncated stream inside a request body";
-    return FrameStatus::Malformed;
-  }
+  S = readFramedBody(In, Limits, Bytes, "request", Body, ErrorOut);
+  if (S != FrameStatus::Ok)
+    return S;
 
   std::string Headers, Payload;
   if (!splitBody(Body, Headers, Payload)) {
@@ -146,30 +298,62 @@ FrameStatus lao::readRequest(std::istream &In, const FrameLimits &Limits,
     return FrameStatus::Ok;
   }
   Out.Text = std::move(Payload);
-  for (const std::string &Line : splitString(Headers, '\n')) {
-    size_t Colon = Line.find(':');
-    if (Colon == std::string::npos) {
-      ErrorOut = formatStr("bad option line '%s'", Line.c_str());
-      return FrameStatus::Ok;
-    }
-    std::string Key = trimString(Line.substr(0, Colon));
-    std::string Value = trimString(Line.substr(Colon + 1));
-    if (Key == "pipeline") {
-      Out.Pipeline = Value;
-    } else if (Key == "ssa") {
-      Out.BuildSSA = Value == "1" || Value == "true";
-    } else if (Key == "deadline_ms" || Key == "sleep_ms") {
-      uint64_t V = 0;
-      if (!parseU64(Value, V)) {
-        ErrorOut = formatStr("option %s wants a number, got '%s'",
-                             Key.c_str(), Value.c_str());
-        return FrameStatus::Ok;
-      }
-      (Key == "deadline_ms" ? Out.DeadlineMs : Out.SleepMs) = V;
-    } else {
-      ErrorOut = formatStr("unknown request option '%s'", Key.c_str());
-      return FrameStatus::Ok;
-    }
+  parseOptions(Headers, Out.Pipeline, Out.BuildSSA, Out.DeadlineMs,
+               Out.SleepMs, nullptr, nullptr, ErrorOut);
+  return FrameStatus::Ok;
+}
+
+FrameStatus lao::readRequestFrame(std::istream &In, const FrameLimits &Limits,
+                                  FrameKind &KindOut, Request &ReqOut,
+                                  BatchRequest &BatchOut,
+                                  std::string &ErrorOut) {
+  ErrorOut.clear();
+  ReqOut = Request();
+  BatchOut = BatchRequest();
+  KindOut = FrameKind::Single;
+  uint64_t Id = 0, Bytes = 0;
+  FrameStatus S = readHeaderOf(In, "REQ", "BAT", KindOut, Id, Bytes, ErrorOut);
+  if (S != FrameStatus::Ok)
+    return S;
+  (KindOut == FrameKind::Batch ? BatchOut.Id : ReqOut.Id) = Id;
+  std::string Body;
+  S = readFramedBody(In, Limits, Bytes,
+                     KindOut == FrameKind::Batch ? "batch request" : "request",
+                     Body, ErrorOut);
+  if (S != FrameStatus::Ok)
+    return S;
+
+  std::string Headers, Payload;
+  if (!splitBody(Body, Headers, Payload)) {
+    ErrorOut = "request body has no blank line separating options from "
+               "the function text";
+    return FrameStatus::Ok;
+  }
+  if (KindOut == FrameKind::Single) {
+    ReqOut.Text = std::move(Payload);
+    parseOptions(Headers, ReqOut.Pipeline, ReqOut.BuildSSA, ReqOut.DeadlineMs,
+                 ReqOut.SleepMs, nullptr, nullptr, ErrorOut);
+    return FrameStatus::Ok;
+  }
+  uint64_t Count = 0;
+  bool SawCount = false;
+  if (!parseOptions(Headers, BatchOut.Pipeline, BatchOut.BuildSSA,
+                    BatchOut.DeadlineMs, BatchOut.SleepMs, &Count, &SawCount,
+                    ErrorOut))
+    return FrameStatus::Ok;
+  if (!SawCount) {
+    ErrorOut = "batch body is missing the required count option";
+    return FrameStatus::Ok;
+  }
+  if (!parseItems(Payload, BatchOut.Texts, ErrorOut)) {
+    BatchOut.Texts.clear();
+    return FrameStatus::Ok;
+  }
+  if (Count != BatchOut.Texts.size()) {
+    ErrorOut = formatStr("batch declares %llu functions but carries %zu",
+                         static_cast<unsigned long long>(Count),
+                         BatchOut.Texts.size());
+    BatchOut.Texts.clear();
   }
   return FrameStatus::Ok;
 }
@@ -179,36 +363,62 @@ FrameStatus lao::readResponse(std::istream &In, const FrameLimits &Limits,
   ErrorOut.clear();
   Out = Response();
   uint64_t Bytes = 0;
-  FrameStatus S = readHeader(In, "RSP", Out.Id, Bytes, ErrorOut);
+  FrameKind Kind;
+  FrameStatus S =
+      readHeaderOf(In, "RSP", nullptr, Kind, Out.Id, Bytes, ErrorOut);
   if (S != FrameStatus::Ok)
     return S;
-  if (Bytes > Limits.MaxBodyBytes) {
-    if (!skipBody(In, Bytes)) {
-      ErrorOut = "truncated stream inside an oversized response body";
-      return FrameStatus::Malformed;
-    }
-    ErrorOut = formatStr("response body of %llu bytes exceeds the "
-                         "%zu-byte frame limit",
-                         static_cast<unsigned long long>(Bytes),
-                         Limits.MaxBodyBytes);
-    return FrameStatus::Oversized;
-  }
   std::string Body;
-  if (!readBody(In, Bytes, Body)) {
-    ErrorOut = "truncated stream inside a response body";
+  S = readFramedBody(In, Limits, Bytes, "response", Body, ErrorOut);
+  if (S != FrameStatus::Ok)
+    return S;
+  if (!parseResponseBody(Body, Out, ErrorOut))
+    return FrameStatus::Malformed;
+  return FrameStatus::Ok;
+}
+
+FrameStatus lao::readResponseFrame(std::istream &In, const FrameLimits &Limits,
+                                   FrameKind &KindOut, Response &RspOut,
+                                   BatchResponse &BatchOut,
+                                   std::string &ErrorOut) {
+  ErrorOut.clear();
+  RspOut = Response();
+  BatchOut = BatchResponse();
+  KindOut = FrameKind::Single;
+  uint64_t Id = 0, Bytes = 0;
+  FrameStatus S = readHeaderOf(In, "RSP", "RSB", KindOut, Id, Bytes, ErrorOut);
+  if (S != FrameStatus::Ok)
+    return S;
+  (KindOut == FrameKind::Batch ? BatchOut.Id : RspOut.Id) = Id;
+  std::string Body;
+  S = readFramedBody(In, Limits, Bytes,
+                     KindOut == FrameKind::Batch ? "batch response"
+                                                 : "response",
+                     Body, ErrorOut);
+  if (S != FrameStatus::Ok)
+    return S;
+  if (KindOut == FrameKind::Single) {
+    if (!parseResponseBody(Body, RspOut, ErrorOut))
+      return FrameStatus::Malformed;
+    return FrameStatus::Ok;
+  }
+  std::string Summary, Payload;
+  if (!splitBody(Body, Summary, Payload)) {
+    ErrorOut = "batch response body has no summary/items separator";
     return FrameStatus::Malformed;
   }
-  std::string Record, IR;
-  if (!splitBody(Body, Record, IR)) {
-    ErrorOut = "response body has no record/IR separator";
+  BatchOut.SummaryJson = trimString(Summary);
+  BatchOut.Ok =
+      BatchOut.SummaryJson.find("\"ok\":true") != std::string::npos;
+  std::vector<std::string> ItemBodies;
+  if (!parseItems(Payload, ItemBodies, ErrorOut))
     return FrameStatus::Malformed;
+  for (const std::string &ItemBody : ItemBodies) {
+    Response Item;
+    Item.Id = Id;
+    if (!parseResponseBody(ItemBody, Item, ErrorOut))
+      return FrameStatus::Malformed;
+    BatchOut.Items.push_back(std::move(Item));
   }
-  // The record is machine-readable JSON, but this project is
-  // deliberately writer-only on JSON: clients that need structure keep
-  // the line as-is, and Ok is mirrored textually right after "id" so a
-  // substring probe is exact.
-  Out.RecordJson = trimString(Record);
-  Out.IR = std::move(IR);
-  Out.Ok = Out.RecordJson.find("\"ok\":true") != std::string::npos;
   return FrameStatus::Ok;
 }

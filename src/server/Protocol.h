@@ -36,11 +36,22 @@
 /// The record always carries "id", "ok" and "outcome"; see docs/SERVER.md
 /// for the full schema and the failure taxonomy.
 ///
+/// Batching amortizes the per-frame cost for many-tiny-functions
+/// workloads: a "LAO1 BAT <id> <body-bytes>" frame carries one shared
+/// option block (which must include "count: N") and N length-prefixed
+/// function texts; the server fans the items across its workers and
+/// answers a single "LAO1 RSB <id> <body-bytes>" frame holding a batch
+/// summary record plus N length-prefixed per-item bodies (each shaped
+/// like a RSP body: record, blank line, IR). Items are answered in
+/// submission order inside the frame. The exact wire layout is spelled
+/// out in docs/SERVER.md.
+///
 /// Error recovery is by construction: the only unrecoverable condition is
 /// a header line that does not parse (or a body shorter than its declared
 /// length, i.e. a truncated stream) — everything inside a well-framed
-/// body, including an oversized declared length, yields an error response
-/// for that id while the stream stays in sync.
+/// body, including an oversized declared length and malformed batch
+/// sub-framing, yields an error response for that id while the stream
+/// stays in sync.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,14 +61,17 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace lao {
 
 /// Transport-level bounds enforced while reading frames.
 struct FrameLimits {
-  /// Upper bound on a frame body. A request declaring more is answered
-  /// with an error record and its body skipped — the declared length
-  /// keeps the stream resynchronizable without trusting the payload.
+  /// Upper bound on a frame body (one BAT frame counts as one body). A
+  /// request declaring more is answered with an error record and its
+  /// body skipped — the declared length keeps the stream
+  /// resynchronizable without trusting the payload. Configurable via
+  /// lao-server --max-body-bytes.
   size_t MaxBodyBytes = 4u << 20;
 };
 
@@ -77,6 +91,32 @@ struct Response {
   bool Ok = false;         ///< Parsed from the record's "ok" field.
   std::string RecordJson;  ///< The one-line stats/error record.
   std::string IR;          ///< Transformed function; empty on error.
+};
+
+/// One batch request: shared options, N function texts.
+struct BatchRequest {
+  uint64_t Id = 0;
+  std::string Pipeline = "Lphi,ABI+C";
+  bool BuildSSA = false;
+  uint64_t DeadlineMs = 0; ///< Shared by every item, from frame arrival.
+  uint64_t SleepMs = 0;
+  std::vector<std::string> Texts; ///< The mini-LAI functions, in order.
+};
+
+/// One batch response frame: a summary record plus the per-item
+/// responses in submission order. Item Response::Id repeats the batch
+/// id; items are matched to requests by position.
+struct BatchResponse {
+  uint64_t Id = 0;
+  bool Ok = false;         ///< Summary "ok": every item compiled.
+  std::string SummaryJson; ///< One-line batch summary record.
+  std::vector<Response> Items;
+};
+
+/// Which frame kind a generalized read returned.
+enum class FrameKind {
+  Single, ///< LAO1 REQ / LAO1 RSP
+  Batch,  ///< LAO1 BAT / LAO1 RSB
 };
 
 /// Outcome of reading one frame from a stream.
@@ -108,6 +148,32 @@ FrameStatus readRequest(std::istream &In, const FrameLimits &Limits,
 /// readRequest; a body without the record/IR separator is Malformed.
 FrameStatus readResponse(std::istream &In, const FrameLimits &Limits,
                          Response &Out, std::string &ErrorOut);
+
+/// Renders \p R as a batch request frame: the shared option block
+/// (always including "count: N"), a blank line, then each function text
+/// as "<bytes>\n<text>\n".
+std::string encodeBatchRequest(const BatchRequest &R);
+
+/// Renders \p R as a batch response frame: SummaryJson, a blank line,
+/// then each item's "record\n\nIR" body as "<bytes>\n<body>\n".
+std::string encodeBatchResponse(const BatchResponse &R);
+
+/// Reads one request frame of either kind; \p KindOut says which of
+/// \p ReqOut / \p BatchOut was filled. Contract matches readRequest: on
+/// Ok a non-empty \p ErrorOut is a body-level problem (unknown key, bad
+/// count, malformed item sub-framing) the server answers as an error
+/// record for the frame's id; Oversized leaves the id (and kind) valid
+/// with the body skipped; Malformed means the stream is unframeable.
+FrameStatus readRequestFrame(std::istream &In, const FrameLimits &Limits,
+                             FrameKind &KindOut, Request &ReqOut,
+                             BatchRequest &BatchOut, std::string &ErrorOut);
+
+/// Reads one response frame of either kind (the client side). Malformed
+/// sub-framing inside a RSB body is Malformed, like a RSP body without
+/// its record/IR separator.
+FrameStatus readResponseFrame(std::istream &In, const FrameLimits &Limits,
+                              FrameKind &KindOut, Response &RspOut,
+                              BatchResponse &BatchOut, std::string &ErrorOut);
 
 } // namespace lao
 

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <thread>
 
@@ -40,6 +41,8 @@ const char *lao::outcomeName(RequestOutcome O) {
     return "pipeline_error";
   case RequestOutcome::Oversized:
     return "oversized";
+  case RequestOutcome::BatchError:
+    return "batch_error";
   case RequestOutcome::Protocol:
     return "protocol_error";
   }
@@ -54,6 +57,8 @@ std::string lao::requestRecordJson(const RequestRecord &Rec) {
   // substring "\"ok\":true" instead of parsing JSON.
   W.key("ok").value(Rec.ok());
   W.key("outcome").value(outcomeName(Rec.Outcome));
+  if (Rec.Item >= 0)
+    W.key("item").value(static_cast<uint64_t>(Rec.Item));
   W.key("error").value(Rec.Error);
   W.key("pipeline").value(Rec.Pipeline);
   W.key("moves").value(Rec.Moves);
@@ -67,9 +72,50 @@ std::string lao::requestRecordJson(const RequestRecord &Rec) {
   return W.take();
 }
 
+namespace {
+
+/// The one-line summary record heading a RSB body. Summary "ok" means
+/// the batch frame was well-formed and every item was answered; item
+/// failures stay per-item and are only counted here (error_count).
+std::string batchSummaryJson(uint64_t Id, RequestOutcome O,
+                             const std::string &Error, size_t NumFunctions,
+                             size_t OkCount, double Seconds) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id").value(Id);
+  // Same contract as the request record: "ok" directly follows "id"
+  // for the substring probe in readResponseFrame.
+  W.key("ok").value(O == RequestOutcome::Ok);
+  W.key("outcome").value(outcomeName(O));
+  W.key("error").value(Error);
+  W.key("functions").value(static_cast<uint64_t>(NumFunctions));
+  W.key("ok_count").value(static_cast<uint64_t>(OkCount));
+  W.key("error_count").value(static_cast<uint64_t>(NumFunctions - OkCount));
+  W.key("seconds").value(Seconds);
+  W.endObject();
+  return W.take();
+}
+
+/// Drains the worker's recycler hit count into the global counter.
+/// Called after compileRequest returned, i.e. after its StatsScope
+/// died: warm-path volume depends on scheduling (which worker got the
+/// request), so it must never leak into per-request counter deltas —
+/// those are test-enforced to be identical serial vs sharded.
+void flushRecyclerStats(WorkerContext &Ctx) {
+  if (uint64_t B = Ctx.Recycler.takeReuseBytes())
+    LAO_STAT(server, arena_reuse_bytes) += B;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Per-request compile path
+//===----------------------------------------------------------------------===//
+
 RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
                                      Clock::time_point Arrival,
-                                     const ServerOptions &Opts) {
+                                     const ServerOptions &Opts,
+                                     bool PerRequestCounters) {
   RequestRecord Rec;
   Rec.Id = Req.Id;
   Rec.Pipeline = Req.Pipeline;
@@ -88,11 +134,16 @@ RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
   auto Expired = [&] { return DeadlineMs && Clock::now() >= Deadline; };
 
   // Everything below attributes its counter bumps to this request alone,
-  // however many sibling workers are running.
-  StatsScope Scope;
+  // however many sibling workers are running. Batch items skip the
+  // scope — that is the lean path batching exists for — and report an
+  // empty counters object instead.
+  std::optional<StatsScope> Scope;
+  if (PerRequestCounters)
+    Scope.emplace();
   ++LAO_STAT(server, requests);
   auto Finish = [&]() -> RequestRecord & {
-    Rec.Counters = Scope.takeAndReset();
+    if (Scope)
+      Rec.Counters = Scope->takeAndReset();
     Rec.Seconds =
         std::chrono::duration<double>(Clock::now() - Start).count();
     return Rec;
@@ -137,6 +188,9 @@ RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
   // manager is rebound to it inside runPipeline, and the previous
   // request's function (which the manager may still reference through
   // dropped-on-reset caches) dies only after this one is in place.
+  // When the slot's recycler is bound to this thread, the dying
+  // function's arena chunks park there and the *next* request's parse
+  // bump-allocates straight into them.
   Ctx.F = std::move(F);
   if (!Ctx.AM)
     Ctx.AM = std::make_unique<AnalysisManager>(*Ctx.F);
@@ -166,98 +220,265 @@ RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
   return Finish();
 }
 
-int Server::serve(std::istream &In, std::ostream &Out) {
-  ThreadPool Pool(Opts.NumWorkers ? Opts.NumWorkers : 1);
-  unsigned NumWorkers = Pool.numThreads();
+//===----------------------------------------------------------------------===//
+// Connection plumbing
+//===----------------------------------------------------------------------===//
 
-  // Worker contexts are handed out through a free-slot stack: at most
-  // NumWorkers tasks run at once, so a popping task always finds one,
-  // and a context is reused serially even though tasks hop threads.
-  std::vector<WorkerContext> Contexts(NumWorkers);
-  std::vector<unsigned> FreeSlots;
-  std::mutex SlotM;
-  for (unsigned K = 0; K < NumWorkers; ++K)
-    FreeSlots.push_back(K);
-
-  // Reorder buffer: responses are written strictly in arrival order by
-  // a dedicated writer thread, whatever order the workers finish in.
-  std::mutex OutM;
-  std::condition_variable OutCv;
-  std::map<uint64_t, std::string> PendingOut; // seq -> encoded frame
+/// Per-serve()-call state: one connection's reorder buffer, in-flight
+/// window, and (under CollectRecords) its record blocks keyed by frame
+/// sequence. All shared fields are guarded by M.
+struct Server::Connection {
+  std::mutex M;
+  std::condition_variable Cv; ///< Wakes the writer and stalled readers.
+  std::map<uint64_t, std::string> PendingOut; ///< seq -> encoded frame.
+  std::map<uint64_t, std::vector<RequestRecord>> Collected;
   uint64_t NextFlush = 0;
   uint64_t SeqCount = 0;
   bool ReaderDone = false;
+  unsigned InFlight = 0; ///< Frames dispatched but not yet flushed.
+  unsigned MaxSeen = 0;
+};
 
+Server::Server(ServerOptions O) : Opts(std::move(O)) {
+  Pool = std::make_unique<ThreadPool>(Opts.NumWorkers ? Opts.NumWorkers : 1);
+  Opts.NumWorkers = Pool->numThreads();
+  // Worker contexts are handed out through a free-slot stack: at most
+  // NumWorkers tasks run at once, so a popping task always finds one,
+  // and a context is reused serially even though tasks hop threads and
+  // connections.
+  Contexts = std::vector<WorkerContext>(Opts.NumWorkers);
+  for (unsigned K = 0; K < Opts.NumWorkers; ++K)
+    FreeSlots.push_back(K);
+}
+
+Server::~Server() = default;
+
+unsigned Server::acquireSlot() {
+  std::lock_guard<std::mutex> G(SlotM);
+  unsigned Slot = FreeSlots.back();
+  FreeSlots.pop_back();
+  return Slot;
+}
+
+void Server::releaseSlot(unsigned Slot) {
+  std::lock_guard<std::mutex> G(SlotM);
+  FreeSlots.push_back(Slot);
+}
+
+/// Accounts \p Recs in the shared report and hands \p Frame to the
+/// connection's writer under its sequence number.
+void Server::complete(Connection &C, uint64_t Seq, std::string Frame,
+                      std::vector<RequestRecord> Recs) {
+  {
+    std::lock_guard<std::mutex> G(ReportM);
+    for (const RequestRecord &Rec : Recs) {
+      ++Report.NumRequests;
+      switch (Rec.Outcome) {
+      case RequestOutcome::Ok:
+        ++Report.NumOk;
+        break;
+      case RequestOutcome::Timeout:
+        ++Report.NumTimeouts;
+        break;
+      case RequestOutcome::ParseError:
+      case RequestOutcome::UnknownPreset:
+        ++Report.NumParseErrors;
+        break;
+      case RequestOutcome::Oversized:
+        ++Report.NumOversized;
+        break;
+      case RequestOutcome::PipelineError:
+        ++Report.NumPipelineErrors;
+        break;
+      case RequestOutcome::BatchError:
+        ++Report.NumBatchErrors;
+        break;
+      case RequestOutcome::Protocol:
+        break;
+      }
+      if (Rec.Outcome != RequestOutcome::Ok)
+        ++Report.NumErrors;
+      mergeSnapshot(Report.MergedCounters, Rec.Counters);
+    }
+  }
+  std::lock_guard<std::mutex> G(C.M);
+  if (Opts.CollectRecords)
+    C.Collected[Seq] = std::move(Recs);
+  C.PendingOut[Seq] = std::move(Frame);
+  C.Cv.notify_all();
+}
+
+void Server::dispatchSingle(Connection &C, Request Req,
+                            Clock::time_point Arrival, uint64_t Seq) {
+  Pool->async([this, &C, Seq, Arrival, Req = std::move(Req)] {
+    unsigned Slot = acquireSlot();
+    WorkerContext &Ctx = Contexts[Slot];
+    RequestRecord Rec;
+    try {
+      ArenaRecycler::Bind Bind(Ctx.Recycler);
+      Rec = compileRequest(Req, Ctx, Arrival, Opts);
+    } catch (...) {
+      // compileRequest catches compile-path exceptions itself; this is
+      // the belt-and-braces backstop that keeps the connection's
+      // sequence space gap-free even on a server plumbing bug.
+      Rec = RequestRecord();
+      Rec.Id = Req.Id;
+      Rec.Pipeline = Req.Pipeline;
+      Rec.Outcome = RequestOutcome::PipelineError;
+      Rec.Error = "pipeline error: exception escaped the worker";
+    }
+    flushRecyclerStats(Ctx);
+    releaseSlot(Slot);
+    Response Rsp;
+    Rsp.Id = Rec.Id;
+    Rsp.RecordJson = requestRecordJson(Rec);
+    Rsp.IR = Opts.CollectRecords ? Rec.IR : std::move(Rec.IR);
+    std::vector<RequestRecord> Recs;
+    Recs.push_back(std::move(Rec));
+    complete(C, Seq, encodeResponse(Rsp), std::move(Recs));
+  });
+}
+
+void Server::dispatchBatch(Connection &C, BatchRequest Bat,
+                           Clock::time_point Arrival, uint64_t Seq) {
+  struct BatchState {
+    BatchRequest Req;
+    Clock::time_point Arrival;
+    uint64_t Seq = 0;
+    std::vector<RequestRecord> Items;
+    std::atomic<size_t> Remaining{0};
+  };
+  auto St = std::make_shared<BatchState>();
+  St->Req = std::move(Bat);
+  St->Arrival = Arrival;
+  St->Seq = Seq;
+  size_t N = St->Req.Texts.size();
+  St->Items.resize(N);
+  St->Remaining.store(N, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> G(ReportM);
+    ++Report.NumBatches;
+  }
+  ++LAO_STAT(server, batches);
+  LAO_STAT(server, batch_items) += N;
+
+  auto Assemble = [this, &C, St] {
+    BatchResponse Rsp;
+    Rsp.Id = St->Req.Id;
+    size_t OkCount = 0;
+    for (RequestRecord &Rec : St->Items) {
+      OkCount += Rec.ok();
+      Response Item;
+      Item.Id = Rec.Id;
+      Item.RecordJson = requestRecordJson(Rec);
+      Item.IR = Opts.CollectRecords ? Rec.IR : std::move(Rec.IR);
+      Rsp.Items.push_back(std::move(Item));
+    }
+    double Seconds =
+        std::chrono::duration<double>(Clock::now() - St->Arrival).count();
+    Rsp.SummaryJson = batchSummaryJson(St->Req.Id, RequestOutcome::Ok, "",
+                                       St->Items.size(), OkCount, Seconds);
+    complete(C, St->Seq, encodeBatchResponse(Rsp), std::move(St->Items));
+  };
+  if (N == 0)
+    return Assemble();
+
+  for (size_t K = 0; K < N; ++K)
+    Pool->async([this, St, K, Assemble] {
+      unsigned Slot = acquireSlot();
+      WorkerContext &Ctx = Contexts[Slot];
+      Request R;
+      R.Id = St->Req.Id;
+      R.Pipeline = St->Req.Pipeline;
+      R.BuildSSA = St->Req.BuildSSA;
+      R.DeadlineMs = St->Req.DeadlineMs;
+      R.SleepMs = St->Req.SleepMs;
+      R.Text = std::move(St->Req.Texts[K]); // Each item read exactly once.
+      RequestRecord Rec;
+      try {
+        ArenaRecycler::Bind Bind(Ctx.Recycler);
+        Rec = compileRequest(R, Ctx, St->Arrival, Opts,
+                             /*PerRequestCounters=*/false);
+      } catch (...) {
+        Rec = RequestRecord();
+        Rec.Id = R.Id;
+        Rec.Pipeline = R.Pipeline;
+        Rec.Outcome = RequestOutcome::PipelineError;
+        Rec.Error = "pipeline error: exception escaped the worker";
+      }
+      Rec.Item = static_cast<int64_t>(K);
+      flushRecyclerStats(Ctx);
+      releaseSlot(Slot);
+      St->Items[K] = std::move(Rec);
+      // Last finisher assembles the single response frame: one write
+      // wakeup per batch, not per function.
+      if (St->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        Assemble();
+    });
+}
+
+//===----------------------------------------------------------------------===//
+// The serve loop
+//===----------------------------------------------------------------------===//
+
+int Server::serve(std::istream &In, std::ostream &Out) {
+  Connection C;
+
+  // Responses are written strictly in arrival order by a dedicated
+  // writer thread, whatever order the workers finish in.
   std::thread Writer([&] {
-    std::unique_lock<std::mutex> L(OutM);
+    std::unique_lock<std::mutex> L(C.M);
     for (;;) {
-      OutCv.wait(L, [&] {
-        return PendingOut.count(NextFlush) != 0 ||
-               (ReaderDone && NextFlush == SeqCount);
+      C.Cv.wait(L, [&] {
+        return C.PendingOut.count(C.NextFlush) != 0 ||
+               (C.ReaderDone && C.NextFlush == C.SeqCount);
       });
-      for (auto It = PendingOut.find(NextFlush); It != PendingOut.end();
-           It = PendingOut.find(NextFlush)) {
+      for (auto It = C.PendingOut.find(C.NextFlush); It != C.PendingOut.end();
+           It = C.PendingOut.find(C.NextFlush)) {
         std::string Frame = std::move(It->second);
-        PendingOut.erase(It);
-        ++NextFlush;
+        C.PendingOut.erase(It);
+        ++C.NextFlush;
         L.unlock();
         Out << Frame;
         Out.flush();
         L.lock();
+        // The flush frees one window slot; wake a stalled reader.
+        --C.InFlight;
+        C.Cv.notify_all();
       }
-      if (ReaderDone && NextFlush == SeqCount)
+      if (C.ReaderDone && C.NextFlush == C.SeqCount)
         return;
     }
   });
 
-  auto Complete = [&](uint64_t Seq, RequestRecord Rec) {
-    Response Rsp;
-    Rsp.Id = Rec.Id;
-    Rsp.RecordJson = requestRecordJson(Rec);
-    Rsp.IR = Rec.IR;
-    std::string Frame = encodeResponse(Rsp);
-    std::lock_guard<std::mutex> G(OutM);
-    ++Report.NumRequests;
-    switch (Rec.Outcome) {
-    case RequestOutcome::Ok:
-      ++Report.NumOk;
-      break;
-    case RequestOutcome::Timeout:
-      ++Report.NumTimeouts;
-      break;
-    case RequestOutcome::ParseError:
-    case RequestOutcome::UnknownPreset:
-      ++Report.NumParseErrors;
-      break;
-    case RequestOutcome::Oversized:
-      ++Report.NumOversized;
-      break;
-    case RequestOutcome::PipelineError:
-      ++Report.NumPipelineErrors;
-      break;
-    case RequestOutcome::Protocol:
-      break;
-    }
-    if (Rec.Outcome != RequestOutcome::Ok)
-      ++Report.NumErrors;
-    mergeSnapshot(Report.MergedCounters, Rec.Counters);
-    if (Opts.CollectRecords) {
-      if (Records.size() <= Seq)
-        Records.resize(Seq + 1);
-      Records[Seq] = std::move(Rec);
-    }
-    PendingOut[Seq] = std::move(Frame);
-    OutCv.notify_all();
-  };
-
   uint64_t Seq = 0;
   int Rc = 0;
   for (;;) {
+    // Bounded in-flight window: a client pipelining faster than the
+    // pool drains stalls here (its own connection only) instead of
+    // ballooning the reorder buffer.
+    if (Opts.MaxInFlightFrames) {
+      std::unique_lock<std::mutex> L(C.M);
+      while (C.InFlight >= Opts.MaxInFlightFrames && !shutdownRequested())
+        C.Cv.wait_for(L, std::chrono::milliseconds(50));
+    }
+    if (shutdownRequested())
+      break;
+
+    FrameKind Kind;
     Request Req;
+    BatchRequest Bat;
     std::string Error;
-    FrameStatus S = readRequest(In, Opts.Limits, Req, Error);
+    FrameStatus S = readRequestFrame(In, Opts.Limits, Kind, Req, Bat, Error);
     if (S == FrameStatus::Eof)
       break;
+    Clock::time_point Arrival = Clock::now();
+    {
+      std::lock_guard<std::mutex> G(C.M);
+      ++C.InFlight;
+      if (C.InFlight > C.MaxSeen)
+        C.MaxSeen = C.InFlight;
+    }
     if (S == FrameStatus::Malformed) {
       // The stream cannot be resynchronized: answer with a final id-0
       // protocol record and stop reading. Everything already dispatched
@@ -265,52 +486,75 @@ int Server::serve(std::istream &In, std::ostream &Out) {
       RequestRecord Rec;
       Rec.Outcome = RequestOutcome::Protocol;
       Rec.Error = "protocol error: " + Error;
-      Complete(Seq++, std::move(Rec));
+      Response Rsp;
+      Rsp.RecordJson = requestRecordJson(Rec);
+      std::vector<RequestRecord> Recs;
+      Recs.push_back(std::move(Rec));
+      complete(C, Seq++, encodeResponse(Rsp), std::move(Recs));
       Rc = 1;
       break;
     }
-    Clock::time_point Arrival = Clock::now();
+    ++LAO_STAT(server, frames);
     if (S == FrameStatus::Oversized || !Error.empty()) {
+      // Body-level failure: answer an error record in the frame's own
+      // shape (RSP or RSB) and keep serving.
       RequestRecord Rec;
-      Rec.Id = Req.Id;
-      Rec.Pipeline = Req.Pipeline;
-      Rec.Outcome = S == FrameStatus::Oversized ? RequestOutcome::Oversized
-                                                : RequestOutcome::ParseError;
+      Rec.Id = Kind == FrameKind::Batch ? Bat.Id : Req.Id;
+      Rec.Pipeline = Kind == FrameKind::Batch ? Bat.Pipeline : Req.Pipeline;
+      if (S == FrameStatus::Oversized) {
+        Rec.Outcome = RequestOutcome::Oversized;
+        ++LAO_STAT(server, oversized);
+      } else if (Kind == FrameKind::Batch) {
+        Rec.Outcome = RequestOutcome::BatchError;
+        ++LAO_STAT(server, batch_errors);
+      } else {
+        Rec.Outcome = RequestOutcome::ParseError;
+        ++LAO_STAT(server, parse_errors);
+      }
       Rec.Error = Error;
       ++LAO_STAT(server, requests);
-      if (S == FrameStatus::Oversized)
-        ++LAO_STAT(server, oversized);
-      else
-        ++LAO_STAT(server, parse_errors);
-      Complete(Seq++, std::move(Rec));
+      std::string Frame;
+      if (Kind == FrameKind::Batch) {
+        BatchResponse Rsp;
+        Rsp.Id = Rec.Id;
+        Rsp.SummaryJson =
+            batchSummaryJson(Rec.Id, Rec.Outcome, Rec.Error, 0, 0, 0.0);
+        Frame = encodeBatchResponse(Rsp);
+      } else {
+        Response Rsp;
+        Rsp.Id = Rec.Id;
+        Rsp.RecordJson = requestRecordJson(Rec);
+        Frame = encodeResponse(Rsp);
+      }
+      std::vector<RequestRecord> Recs;
+      Recs.push_back(std::move(Rec));
+      complete(C, Seq++, std::move(Frame), std::move(Recs));
       continue;
     }
-    uint64_t MySeq = Seq++;
-    Pool.async([&, MySeq, Arrival, Req = std::move(Req)] {
-      unsigned Slot;
-      {
-        std::lock_guard<std::mutex> G(SlotM);
-        Slot = FreeSlots.back();
-        FreeSlots.pop_back();
-      }
-      RequestRecord Rec = compileRequest(Req, Contexts[Slot], Arrival, Opts);
-      {
-        std::lock_guard<std::mutex> G(SlotM);
-        FreeSlots.push_back(Slot);
-      }
-      Complete(MySeq, std::move(Rec));
-    });
+    if (Kind == FrameKind::Batch)
+      dispatchBatch(C, std::move(Bat), Arrival, Seq++);
+    else
+      dispatchSingle(C, std::move(Req), Arrival, Seq++);
   }
 
-  // compileRequest never lets an exception escape, so this wait can only
-  // rethrow on a bug in the server plumbing itself — let that be loud.
-  Pool.wait();
+  // Drain: every dispatched frame still completes and flushes in order;
+  // the writer exits once the last sequence number went out.
   {
-    std::lock_guard<std::mutex> G(OutM);
-    ReaderDone = true;
-    SeqCount = Seq;
+    std::lock_guard<std::mutex> G(C.M);
+    C.ReaderDone = true;
+    C.SeqCount = Seq;
   }
-  OutCv.notify_all();
+  C.Cv.notify_all();
   Writer.join();
+
+  std::lock_guard<std::mutex> G(ReportM);
+  if (C.MaxSeen > Report.MaxInFlight)
+    Report.MaxInFlight = C.MaxSeen;
+  if (Opts.CollectRecords)
+    for (auto &[CollectedSeq, Recs] : C.Collected) {
+      (void)CollectedSeq;
+      for (RequestRecord &Rec : Recs)
+        Records.push_back(std::move(Rec));
+    }
   return Rc;
 }

@@ -11,26 +11,40 @@
 /// "millions of users" architecture step in ROADMAP.md, every piece of
 /// request-scoped state is explicit:
 ///
-///  * one WorkerContext per pool thread, holding a reused
-///    AnalysisManager (reset per request) and keeping the request's
-///    Function alive exactly as long as the manager is bound to it;
-///  * one StatsScope per request, so the per-request counter deltas in
-///    the response record are exact no matter how many workers run
-///    concurrently (the process-global registry stays monotonic);
+///  * one WorkerContext per pool slot, holding a reused
+///    AnalysisManager (reset per request), the request's Function (kept
+///    alive exactly as long as the manager is bound to it), and an
+///    ArenaRecycler so the next request on the slot bump-allocates into
+///    the chunks the previous one just released;
+///  * one StatsScope per single request, so the per-request counter
+///    deltas in the response record are exact no matter how many
+///    workers run concurrently (the process-global registry stays
+///    monotonic). Batch items skip the scope — the lean path — and
+///    their records carry no counters object entries;
 ///  * cooperative deadlines: measured from frame arrival, enforced
 ///    before compilation, during diagnostic sleeps, and between pipeline
 ///    phases via PipelineConfig::CancelCheck;
 ///  * graceful degradation: a request that fails to parse, names an
-///    unknown preset, oversteps the frame limit, times out, or throws
-///    yields a structured error record — the daemon keeps serving. The
-///    only fatal condition is an unframeable input stream, answered
-///    with a final id-0 protocol error record.
+///    unknown preset, oversteps the frame limit, times out, carries
+///    malformed batch sub-framing, or throws yields a structured error
+///    record — the daemon keeps serving. The only fatal condition is an
+///    unframeable input stream, answered with a final id-0 protocol
+///    error record.
 ///
-/// Response *order* is deterministic (arrival order, via a reorder
-/// buffer) and response *content* is byte-identical to the one-shot
-/// lao-opt pipeline on the same input: the worker runs the exact same
-/// parse -> [normalizeToOptimizedSSA] -> runPipeline -> printFunction
-/// path. Timing fields in the JSON record are the only nondeterminism.
+/// The worker pool is constructed once per Server and **shared by every
+/// serve() call**: serve() may run concurrently on N threads (the
+/// socket accept loop starts one per connection, see
+/// SocketTransport.h), each with its own reorder buffer, writer thread,
+/// sequence space, and bounded in-flight window
+/// (ServerOptions::MaxInFlightFrames) that stalls the connection's
+/// reader — not the pool — when the client races too far ahead.
+///
+/// Response *order* is deterministic per connection (arrival order, via
+/// the reorder buffer) and response *content* is byte-identical to the
+/// one-shot lao-opt pipeline on the same input: the worker runs the
+/// exact same parse -> [normalizeToOptimizedSSA] -> runPipeline ->
+/// printFunction path. Timing fields in the JSON record are the only
+/// nondeterminism.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,23 +52,31 @@
 #define LAO_SERVER_SERVER_H
 
 #include "server/Protocol.h"
+#include "support/Arena.h"
 #include "support/Stats.h"
 
+#include <atomic>
 #include <chrono>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace lao {
 
 class AnalysisManager;
 class Function;
+class ThreadPool;
 
 struct ServerOptions {
   unsigned NumWorkers = 4;
   FrameLimits Limits;
   /// Deadline applied to requests that do not carry one; 0 = none.
   uint64_t DefaultDeadlineMs = 0;
+  /// Per-connection backpressure: at most this many frames may be
+  /// dispatched but not yet flushed before the connection's reader
+  /// stalls (a BAT frame counts once). 0 = unbounded.
+  unsigned MaxInFlightFrames = 64;
   /// Keep every per-request record (including the IR) in memory for
   /// records(). Tests and the exit report use this; a production serve
   /// loop leaves it off and only aggregates.
@@ -69,6 +91,7 @@ enum class RequestOutcome {
   Timeout,       ///< Deadline expired (queued, sleeping, or mid-phase).
   PipelineError, ///< An exception escaped the compile path.
   Oversized,     ///< Declared body length over the frame limit.
+  BatchError,    ///< Malformed batch sub-framing inside a framed body.
   Protocol,      ///< Framing failure (the final, fatal record).
 };
 
@@ -83,10 +106,12 @@ struct RequestRecord {
   bool ok() const { return Outcome == RequestOutcome::Ok; }
   std::string Error;       ///< Human-readable; empty when ok.
   std::string Pipeline;
+  int64_t Item = -1;       ///< Position inside a batch; -1 = not batched.
   unsigned Moves = 0;      ///< PipelineResult::NumMoves.
   uint64_t WeightedMoves = 0;
   double Seconds = 0;      ///< Wall time inside the worker.
-  StatsSnapshot Counters;  ///< Exact per-request deltas (StatsScope).
+  StatsSnapshot Counters;  ///< Exact per-request deltas (StatsScope);
+                           ///< empty on the lean batch-item path.
   std::string IR;          ///< Transformed function; empty on error.
 };
 
@@ -95,51 +120,91 @@ std::string requestRecordJson(const RequestRecord &Rec);
 
 /// Service-lifetime aggregate, merged from the per-request records.
 struct ServerReport {
-  uint64_t NumRequests = 0;
+  uint64_t NumRequests = 0; ///< Single requests + batch items.
   uint64_t NumOk = 0;
   uint64_t NumErrors = 0;   ///< Every non-Ok outcome, timeouts included.
   uint64_t NumTimeouts = 0;
   uint64_t NumParseErrors = 0;
   uint64_t NumOversized = 0;
   uint64_t NumPipelineErrors = 0;
+  uint64_t NumBatchErrors = 0; ///< Malformed BAT bodies (whole frame).
+  uint64_t NumBatches = 0;     ///< Well-formed BAT frames dispatched.
+  uint64_t MaxInFlight = 0;    ///< High-water of any connection's window.
   StatsSnapshot MergedCounters; ///< Sum of per-request deltas.
 };
 
-/// Per-worker reusable state: the long-lived AnalysisManager and the
-/// Function it is currently bound to. The function must outlive the
-/// manager's binding, so both live here and are replaced together on
-/// the next request.
+/// Per-worker reusable state: the long-lived AnalysisManager, the
+/// Function it is currently bound to, and the slot's chunk recycler.
+/// The function must outlive the manager's binding, so both live here
+/// and are replaced together on the next request.
 struct WorkerContext {
   std::unique_ptr<Function> F;
   std::unique_ptr<AnalysisManager> AM;
+  ArenaRecycler Recycler;
 };
 
 class Server {
 public:
-  explicit Server(ServerOptions Opts = {}) : Opts(std::move(Opts)) {}
+  explicit Server(ServerOptions Opts = {});
+  ~Server();
 
   /// Compiles one request through \p Ctx's reused manager. \p Arrival
   /// anchors the deadline. This is the whole per-request path — serve()
-  /// calls it from pool workers, tests call it directly.
+  /// calls it from pool workers, tests call it directly. With
+  /// \p PerRequestCounters off (the lean batch-item path) no StatsScope
+  /// is opened and the record's Counters stay empty.
   static RequestRecord compileRequest(const Request &Req, WorkerContext &Ctx,
                                       std::chrono::steady_clock::time_point
                                           Arrival,
-                                      const ServerOptions &Opts);
+                                      const ServerOptions &Opts,
+                                      bool PerRequestCounters = true);
 
-  /// Serves framed requests from \p In until EOF, writing responses to
-  /// \p Out in arrival order. Returns 0 on clean EOF, 1 after an
-  /// unrecoverable framing error (a final id-0 error response is still
-  /// emitted). Callable once per Server instance.
+  /// Serves framed requests from \p In until EOF (or requestShutdown),
+  /// writing responses to \p Out in arrival order. Returns 0 on clean
+  /// EOF, 1 after an unrecoverable framing error (a final id-0 error
+  /// response is still emitted). Callable concurrently — one call per
+  /// connection, all sharing the worker pool.
   int serve(std::istream &In, std::ostream &Out);
 
+  /// Asks every serve() loop to wind down: in-flight requests complete,
+  /// reorder buffers flush, then serve returns as if on EOF. Safe from
+  /// any thread; a signal handler may instead set the stop flag of the
+  /// stream's FdStreamBuf, which drains identically.
+  void requestShutdown() { Stop.store(true, std::memory_order_release); }
+  bool shutdownRequested() const {
+    return Stop.load(std::memory_order_acquire);
+  }
+
+  /// Aggregate over all connections. Read it only while no serve() call
+  /// is running (after the accept loop drained, or between tests).
   const ServerReport &report() const { return Report; }
 
   /// Arrival-ordered per-request records; only filled when
-  /// ServerOptions::CollectRecords is set.
+  /// ServerOptions::CollectRecords is set. Multi-connection runs append
+  /// each connection's records as one contiguous block at connection
+  /// end. Same read discipline as report().
   const std::vector<RequestRecord> &records() const { return Records; }
 
 private:
+  struct Connection;
+  void complete(Connection &C, uint64_t Seq, std::string Frame,
+                std::vector<RequestRecord> Recs);
+  void dispatchSingle(Connection &C, Request Req,
+                      std::chrono::steady_clock::time_point Arrival,
+                      uint64_t Seq);
+  void dispatchBatch(Connection &C, BatchRequest Req,
+                     std::chrono::steady_clock::time_point Arrival,
+                     uint64_t Seq);
+  unsigned acquireSlot();
+  void releaseSlot(unsigned Slot);
+
   ServerOptions Opts;
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<WorkerContext> Contexts;
+  std::vector<unsigned> FreeSlots;
+  std::mutex SlotM;
+  std::atomic<bool> Stop{false};
+  std::mutex ReportM;
   ServerReport Report;
   std::vector<RequestRecord> Records;
 };

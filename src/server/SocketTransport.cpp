@@ -1,0 +1,211 @@
+//===- SocketTransport.cpp - Unix/TCP listeners for the service ----------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/SocketTransport.h"
+
+#include "server/FdStream.h"
+#include "server/Server.h"
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace lao;
+
+namespace {
+
+/// Splits "host:port" / "port" into its parts; bare ports bind/connect
+/// loopback so an unqualified lao-server is never internet-reachable.
+void splitHostPort(const std::string &Spec, std::string &Host,
+                   std::string &Port) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos) {
+    Host = "127.0.0.1";
+    Port = Spec;
+  } else {
+    Host = Spec.substr(0, Colon);
+    Port = Spec.substr(Colon + 1);
+  }
+}
+
+/// getaddrinfo-based socket setup shared by listen and connect.
+int tcpSocket(const std::string &Spec, bool Listen, std::string &ErrorOut) {
+  std::string Host, Port;
+  splitHostPort(Spec, Host, Port);
+  addrinfo Hints = {};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  if (Listen)
+    Hints.ai_flags = AI_PASSIVE;
+  addrinfo *Res = nullptr;
+  int Err = getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+  if (Err != 0) {
+    ErrorOut = formatStr("cannot resolve '%s': %s", Spec.c_str(),
+                         gai_strerror(Err));
+    return -1;
+  }
+  int Fd = -1;
+  for (addrinfo *A = Res; A; A = A->ai_next) {
+    Fd = ::socket(A->ai_family, A->ai_socktype, A->ai_protocol);
+    if (Fd < 0)
+      continue;
+    if (Listen) {
+      int One = 1;
+      setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+      if (::bind(Fd, A->ai_addr, A->ai_addrlen) == 0 && ::listen(Fd, 64) == 0)
+        break;
+    } else if (::connect(Fd, A->ai_addr, A->ai_addrlen) == 0) {
+      break;
+    }
+    ::close(Fd);
+    Fd = -1;
+  }
+  freeaddrinfo(Res);
+  if (Fd < 0)
+    ErrorOut = formatStr("cannot %s '%s': %s",
+                         Listen ? "listen on" : "connect to", Spec.c_str(),
+                         std::strerror(errno));
+  return Fd;
+}
+
+bool fillUnixAddr(const std::string &Path, sockaddr_un &Addr,
+                  std::string &ErrorOut) {
+  Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ErrorOut = formatStr("unix socket path too long (%zu bytes, max %zu)",
+                         Path.size(), sizeof(Addr.sun_path) - 1);
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+int lao::listenUnixSocket(const std::string &Path, std::string &ErrorOut) {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr, ErrorOut))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    ErrorOut = formatStr("socket: %s", std::strerror(errno));
+    return -1;
+  }
+  ::unlink(Path.c_str()); // A stale socket from a killed server.
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    ErrorOut = formatStr("cannot listen on '%s': %s", Path.c_str(),
+                         std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int lao::listenTcpSocket(const std::string &Spec, std::string &ErrorOut) {
+  return tcpSocket(Spec, /*Listen=*/true, ErrorOut);
+}
+
+int lao::connectUnixSocket(const std::string &Path, std::string &ErrorOut) {
+  sockaddr_un Addr;
+  if (!fillUnixAddr(Path, Addr, ErrorOut))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    ErrorOut = formatStr("socket: %s", std::strerror(errno));
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ErrorOut = formatStr("cannot connect to '%s': %s", Path.c_str(),
+                         std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int lao::connectTcpSocket(const std::string &Spec, std::string &ErrorOut) {
+  return tcpSocket(Spec, /*Listen=*/false, ErrorOut);
+}
+
+int lao::runSocketServer(Server &S, int ListenFd,
+                         const std::atomic<bool> &Stop) {
+  struct Conn {
+    int Fd = -1;
+    std::thread T;
+    std::atomic<bool> Finished{false};
+  };
+  std::vector<std::unique_ptr<Conn>> Conns;
+
+  auto Reap = [&](bool All) {
+    for (auto It = Conns.begin(); It != Conns.end();) {
+      Conn &C = **It;
+      if (!All && !C.Finished.load(std::memory_order_acquire)) {
+        ++It;
+        continue;
+      }
+      C.T.join();
+      ::close(C.Fd);
+      It = Conns.erase(It);
+    }
+  };
+
+  while (!Stop.load(std::memory_order_acquire)) {
+    pollfd P{ListenFd, POLLIN, 0};
+    int R = ::poll(&P, 1, 200);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    Reap(/*All=*/false);
+    if (R == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      continue;
+    auto C = std::make_unique<Conn>();
+    Conn *CP = C.get();
+    CP->Fd = Fd;
+    CP->T = std::thread([&S, &Stop, CP] {
+      FdStreamBuf InBuf(CP->Fd, &Stop);
+      FdStreamBuf OutBuf(CP->Fd);
+      std::istream In(&InBuf);
+      std::ostream Out(&OutBuf);
+      // Per-connection protocol errors are answered in-band (the id-0
+      // record) and tallied in the shared report; they never take the
+      // daemon down, so serve's return code is deliberately dropped.
+      S.serve(In, Out);
+      Out.flush();
+      ::shutdown(CP->Fd, SHUT_WR);
+      CP->Finished.store(true, std::memory_order_release);
+    });
+    Conns.push_back(std::move(C));
+  }
+
+  // Drain: stop feeding the serve loops (half-close their read sides —
+  // frames already buffered in the kernel are still consumed by the
+  // stop-aware streambuf before it reports EOF), let each flush its
+  // reorder buffer, then reclaim the fds.
+  for (auto &C : Conns)
+    ::shutdown(C->Fd, SHUT_RD);
+  Reap(/*All=*/true);
+  return 0;
+}

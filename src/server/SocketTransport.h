@@ -1,0 +1,59 @@
+//===- SocketTransport.h - Unix/TCP listeners for the service ---*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Socket plumbing for the compile service. The protocol and Server are
+/// stream-agnostic; this layer only creates fds and runs the accept
+/// loop: every accepted connection gets its own serving thread (an
+/// input/output FdStreamBuf pair over the fd feeding Server::serve),
+/// and all connections share the Server's single worker pool — N
+/// clients contend for the same workers instead of oversubscribing the
+/// machine.
+///
+/// Shutdown is cooperative: runSocketServer polls \p Stop between
+/// accepts; once set it stops accepting, half-closes the read side of
+/// every live connection (so each serve loop sees EOF after the frames
+/// already in flight), drains them, and returns. Paired with
+/// lao-server's signal handlers this is the SIGINT/SIGTERM →
+/// drain-and-exit-0 path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_SERVER_SOCKETTRANSPORT_H
+#define LAO_SERVER_SOCKETTRANSPORT_H
+
+#include <atomic>
+#include <string>
+
+namespace lao {
+
+class Server;
+
+/// Creates a listening Unix-domain socket at \p Path (unlinking a stale
+/// one first). Returns the fd, or -1 with \p ErrorOut set.
+int listenUnixSocket(const std::string &Path, std::string &ErrorOut);
+
+/// Creates a listening TCP socket. \p Spec is "port" or "host:port";
+/// a bare port binds the loopback interface only.
+int listenTcpSocket(const std::string &Spec, std::string &ErrorOut);
+
+/// Connects to a Unix-domain socket. Returns the fd, or -1.
+int connectUnixSocket(const std::string &Path, std::string &ErrorOut);
+
+/// Connects to a TCP endpoint ("port" or "host:port"; a bare port
+/// means loopback). Returns the fd, or -1.
+int connectTcpSocket(const std::string &Spec, std::string &ErrorOut);
+
+/// Accepts connections on \p ListenFd until \p Stop is set, serving
+/// each over \p S (shared worker pool, per-connection response
+/// ordering). Per-connection protocol errors are answered and counted
+/// in the server report but never bring the daemon down. Returns 0 on
+/// a clean stop; closes every connection fd but not \p ListenFd.
+int runSocketServer(Server &S, int ListenFd, const std::atomic<bool> &Stop);
+
+} // namespace lao
+
+#endif // LAO_SERVER_SOCKETTRANSPORT_H

@@ -80,10 +80,17 @@ void *Arena::allocSlow(size_t Size, size_t Align) {
     }
   }
   // Need a new chunk: standard size unless the request is larger.
+  // Standard chunks come from the thread's bound recycler first (the
+  // worker's own just-released chunks, no lock), then the global cache.
   size_t ChunkSize = Size + Align <= ChunkBytes ? ChunkBytes : Size + Align;
   char *Mem = nullptr;
-  if (ChunkSize == ChunkBytes)
-    Mem = cache().pop();
+  if (ChunkSize == ChunkBytes) {
+    if (ArenaRecycler *R = ArenaRecycler::active())
+      if ((Mem = R->pop()))
+        R->ReuseBytes += ChunkBytes;
+    if (!Mem)
+      Mem = cache().pop();
+  }
   if (!Mem)
     Mem = static_cast<char *>(::operator new(ChunkSize));
   Chunks.push_back({Mem, ChunkSize});
@@ -113,10 +120,35 @@ void Arena::reset() {
 }
 
 Arena::~Arena() {
+  ArenaRecycler *R = ArenaRecycler::active();
   for (const Chunk &C : Chunks) {
-    if (C.Size == ChunkBytes)
-      cache().push(C.Mem);
-    else
+    if (C.Size != ChunkBytes) {
       ::operator delete(C.Mem);
+      continue;
+    }
+    if (R && R->push(C.Mem))
+      continue;
+    cache().push(C.Mem);
   }
+}
+
+char *ArenaRecycler::pop() {
+  if (Free.empty())
+    return nullptr;
+  char *Mem = Free.back();
+  Free.pop_back();
+  return Mem;
+}
+
+bool ArenaRecycler::push(char *Mem) {
+  if (Free.size() >= MaxChunks)
+    return false;
+  Free.push_back(Mem);
+  return true;
+}
+
+ArenaRecycler::~ArenaRecycler() {
+  // Parked chunks outlive the worker through the global cache.
+  for (char *Mem : Free)
+    cache().push(Mem);
 }

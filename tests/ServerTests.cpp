@@ -17,12 +17,21 @@
 
 #include "analysis/AnalysisManager.h"
 #include "outofssa/Pipeline.h"
+#include "server/FdStream.h"
 #include "server/Server.h"
+#include "server/SocketTransport.h"
+#include "support/Stats.h"
 #include "workloads/Suites.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
 #include <sstream>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace lao;
 using namespace lao::test;
@@ -388,4 +397,497 @@ TEST(Server, CompileRequestAttributesStatsPerRequest) {
   EXPECT_EQ(First.Counters, Second.Counters)
       << "reused worker context leaked state between requests";
   EXPECT_EQ(First.IR, Second.IR);
+}
+
+//===----------------------------------------------------------------------===//
+// Batch framing
+//===----------------------------------------------------------------------===//
+
+TEST(ServerProtocol, BatchRequestRoundTrip) {
+  BatchRequest B;
+  B.Id = 11;
+  B.Pipeline = "C,naiveABI+C";
+  B.BuildSSA = true;
+  B.DeadlineMs = 250;
+  B.Texts = {"func @a {\nentry:\n  ret %a\n}\n", "", "x\ny\n"};
+  std::istringstream In(encodeBatchRequest(B));
+  FrameKind Kind = FrameKind::Single;
+  Request R;
+  BatchRequest Back;
+  std::string Error;
+  ASSERT_EQ(readRequestFrame(In, FrameLimits(), Kind, R, Back, Error),
+            FrameStatus::Ok);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Kind, FrameKind::Batch);
+  EXPECT_EQ(Back.Id, B.Id);
+  EXPECT_EQ(Back.Pipeline, B.Pipeline);
+  EXPECT_EQ(Back.BuildSSA, B.BuildSSA);
+  EXPECT_EQ(Back.DeadlineMs, B.DeadlineMs);
+  EXPECT_EQ(Back.Texts, B.Texts);
+  EXPECT_EQ(readRequestFrame(In, FrameLimits(), Kind, R, Back, Error),
+            FrameStatus::Eof);
+}
+
+TEST(ServerProtocol, BatchResponseRoundTrip) {
+  BatchResponse B;
+  B.Id = 4;
+  B.Ok = true;
+  B.SummaryJson = "{\"id\":4,\"ok\":true,\"outcome\":\"ok\",\"functions\":2}";
+  Response I0;
+  I0.Id = 4;
+  I0.Ok = true;
+  I0.RecordJson = "{\"id\":4,\"ok\":true,\"outcome\":\"ok\",\"item\":0}";
+  I0.IR = "func @a {\nentry:\n  ret %R0\n}\n";
+  Response I1;
+  I1.Id = 4;
+  I1.Ok = false;
+  I1.RecordJson = "{\"id\":4,\"ok\":false,\"outcome\":\"parse_error\"}";
+  B.Items = {I0, I1};
+  std::istringstream In(encodeBatchResponse(B));
+  FrameKind Kind = FrameKind::Single;
+  Response R;
+  BatchResponse Back;
+  std::string Error;
+  ASSERT_EQ(readResponseFrame(In, FrameLimits(), Kind, R, Back, Error),
+            FrameStatus::Ok);
+  EXPECT_EQ(Kind, FrameKind::Batch);
+  EXPECT_EQ(Back.Id, 4u);
+  EXPECT_TRUE(Back.Ok);
+  EXPECT_EQ(Back.SummaryJson, B.SummaryJson);
+  ASSERT_EQ(Back.Items.size(), 2u);
+  EXPECT_TRUE(Back.Items[0].Ok);
+  EXPECT_EQ(Back.Items[0].RecordJson, I0.RecordJson);
+  EXPECT_EQ(Back.Items[0].IR, I0.IR);
+  EXPECT_FALSE(Back.Items[1].Ok);
+}
+
+TEST(ServerProtocol, BatchWithoutCountIsBodyLevelError) {
+  // "count" is what lets the reader validate the sub-framing; a BAT
+  // body without it is a per-frame error, not a stream failure.
+  std::string Body = "pipeline: Lphi,ABI+C\n\n2\nab\n";
+  std::ostringstream Frame;
+  Frame << "LAO1 BAT 3 " << Body.size() << "\n" << Body << "\n";
+  std::istringstream In(Frame.str());
+  FrameKind Kind = FrameKind::Single;
+  Request R;
+  BatchRequest Back;
+  std::string Error;
+  ASSERT_EQ(readRequestFrame(In, FrameLimits(), Kind, R, Back, Error),
+            FrameStatus::Ok);
+  EXPECT_EQ(Kind, FrameKind::Batch);
+  EXPECT_EQ(Back.Id, 3u);
+  EXPECT_NE(Error.find("count"), std::string::npos) << Error;
+  EXPECT_TRUE(Back.Texts.empty());
+}
+
+TEST(ServerProtocol, BatchCountMismatchIsBodyLevelError) {
+  BatchRequest B;
+  B.Id = 8;
+  B.Texts = {"aa", "bb"};
+  std::string Frame = encodeBatchRequest(B);
+  // Corrupt the declared count: "count: 2" -> "count: 3". The body
+  // length stays valid, so the stream must resynchronize afterwards.
+  size_t At = Frame.find("count: 2");
+  ASSERT_NE(At, std::string::npos);
+  Frame[At + std::strlen("count: ")] = '3';
+  Request Single;
+  Single.Id = 9;
+  Single.Text = "t";
+  std::istringstream In(Frame + encodeRequest(Single));
+  FrameKind Kind = FrameKind::Single;
+  Request R;
+  BatchRequest Back;
+  std::string Error;
+  ASSERT_EQ(readRequestFrame(In, FrameLimits(), Kind, R, Back, Error),
+            FrameStatus::Ok);
+  EXPECT_EQ(Kind, FrameKind::Batch);
+  EXPECT_FALSE(Error.empty());
+  EXPECT_TRUE(Back.Texts.empty()) << "a mismatched batch yields no items";
+  Error.clear();
+  ASSERT_EQ(readRequestFrame(In, FrameLimits(), Kind, R, Back, Error),
+            FrameStatus::Ok)
+      << Error;
+  EXPECT_EQ(Kind, FrameKind::Single);
+  EXPECT_EQ(R.Id, 9u);
+}
+
+namespace {
+
+/// Reads every response frame (RSP and RSB) from \p Bytes.
+struct AnyResponse {
+  FrameKind Kind = FrameKind::Single;
+  Response Single;
+  BatchResponse Batch;
+};
+std::vector<AnyResponse> readAllResponses(const std::string &Bytes) {
+  std::vector<AnyResponse> Out;
+  std::istringstream In(Bytes);
+  for (;;) {
+    AnyResponse A;
+    std::string Error;
+    FrameStatus St = readResponseFrame(In, FrameLimits(), A.Kind, A.Single,
+                                       A.Batch, Error);
+    if (St == FrameStatus::Eof)
+      break;
+    EXPECT_EQ(St, FrameStatus::Ok) << Error;
+    if (St != FrameStatus::Ok)
+      break;
+    Out.push_back(std::move(A));
+  }
+  return Out;
+}
+
+} // namespace
+
+TEST(Server, BatchServedIRMatchesOneShot) {
+  BatchRequest B;
+  B.Id = 1;
+  B.Texts = {SimpleFunc, SimpleFunc, SimpleFunc};
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::istringstream In(encodeBatchRequest(B));
+  std::ostringstream OutBytes;
+  EXPECT_EQ(S.serve(In, OutBytes), 0);
+
+  auto Responses = readAllResponses(OutBytes.str());
+  ASSERT_EQ(Responses.size(), 1u);
+  EXPECT_EQ(Responses[0].Kind, FrameKind::Batch);
+  const BatchResponse &R = Responses[0].Batch;
+  EXPECT_TRUE(R.Ok) << R.SummaryJson;
+  ASSERT_EQ(R.Items.size(), 3u);
+  std::string Expected = oneShot(SimpleFunc);
+  for (size_t K = 0; K < 3; ++K) {
+    EXPECT_TRUE(R.Items[K].Ok) << R.Items[K].RecordJson;
+    EXPECT_EQ(R.Items[K].IR, Expected) << "batch item " << K;
+  }
+  // One batch, three compiled functions, items tagged with positions.
+  EXPECT_EQ(S.report().NumBatches, 1u);
+  EXPECT_EQ(S.report().NumRequests, 3u);
+  EXPECT_EQ(S.report().NumOk, 3u);
+  ASSERT_EQ(S.records().size(), 3u);
+  for (size_t K = 0; K < 3; ++K)
+    EXPECT_EQ(S.records()[K].Item, static_cast<int64_t>(K));
+}
+
+TEST(Server, MalformedBatchDegradesAndKeepsServing) {
+  // A BAT whose items overrun the body is answered with a summary-only
+  // error RSB; the next frame still compiles; the daemon exits 0.
+  std::string Body = "count: 2\n\n5\nab\n";
+  std::ostringstream Frames;
+  Frames << "LAO1 BAT 7 " << Body.size() << "\n" << Body << "\n";
+  Request Good;
+  Good.Id = 8;
+  Good.Text = SimpleFunc;
+  Frames << encodeRequest(Good);
+
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::istringstream In(Frames.str());
+  std::ostringstream OutBytes;
+  EXPECT_EQ(S.serve(In, OutBytes), 0);
+
+  auto Responses = readAllResponses(OutBytes.str());
+  ASSERT_EQ(Responses.size(), 2u);
+  EXPECT_EQ(Responses[0].Kind, FrameKind::Batch);
+  EXPECT_FALSE(Responses[0].Batch.Ok);
+  EXPECT_TRUE(Responses[0].Batch.Items.empty());
+  EXPECT_NE(Responses[0].Batch.SummaryJson.find("\"outcome\":\"batch_error\""),
+            std::string::npos)
+      << Responses[0].Batch.SummaryJson;
+  EXPECT_EQ(Responses[1].Kind, FrameKind::Single);
+  EXPECT_TRUE(Responses[1].Single.Ok);
+  EXPECT_EQ(S.report().NumBatchErrors, 1u);
+  ASSERT_EQ(S.records().size(), 2u);
+  EXPECT_EQ(S.records()[0].Outcome, RequestOutcome::BatchError);
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure
+//===----------------------------------------------------------------------===//
+
+TEST(Server, BackpressureWindowBoundsInFlight) {
+  // With a 2-frame window, pipelining 24 requests into a 4-worker pool
+  // must never have more than 2 dispatched-but-unflushed frames, and
+  // every request is still answered in order.
+  std::string Frames;
+  for (uint64_t K = 1; K <= 24; ++K) {
+    Request R;
+    R.Id = K;
+    R.Text = SimpleFunc;
+    Frames += encodeRequest(R);
+  }
+  ServerOptions Opts;
+  Opts.NumWorkers = 4;
+  Opts.MaxInFlightFrames = 2;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, Frames, Responses, &S), 0);
+  ASSERT_EQ(Responses.size(), 24u);
+  for (size_t K = 0; K < Responses.size(); ++K) {
+    EXPECT_EQ(Responses[K].Id, K + 1);
+    EXPECT_TRUE(Responses[K].Ok);
+  }
+  EXPECT_GE(S.report().MaxInFlight, 1u);
+  EXPECT_LE(S.report().MaxInFlight, 2u)
+      << "the in-flight window leaked past its bound";
+}
+
+TEST(Server, ArenaReuseIsCountedOutsideRequestScopes) {
+  // A single worker compiling several requests recycles its arena
+  // chunks between them: the global server.arena_reuse_bytes counter
+  // must grow, but it must never appear in a per-request counter
+  // snapshot — reuse is a worker-lifetime effect, and charging it to
+  // whichever request happened to run second would make per-request
+  // deltas scheduling-dependent.
+  std::string Frames;
+  for (uint64_t K = 1; K <= 6; ++K) {
+    Request R;
+    R.Id = K;
+    R.Text = SimpleFunc;
+    Frames += encodeRequest(R);
+  }
+  ServerOptions Opts;
+  Opts.NumWorkers = 1;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  StatsSnapshot Before = StatsRegistry::instance().snapshot();
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, Frames, Responses, &S), 0);
+  StatsSnapshot Delta =
+      StatsRegistry::delta(Before, StatsRegistry::instance().snapshot());
+  EXPECT_GT(Delta["server.arena_reuse_bytes"], 0u)
+      << "the warm path never reissued a recycled chunk";
+  ASSERT_EQ(S.records().size(), 6u);
+  for (const RequestRecord &R : S.records())
+    EXPECT_EQ(R.Counters.count("server.arena_reuse_bytes"), 0u)
+        << "arena reuse leaked into a per-request snapshot";
+}
+
+//===----------------------------------------------------------------------===//
+// Socket transport
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool writeBytes(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+std::string readToEof(int Fd) {
+  std::string Bytes;
+  char Buf[65536];
+  for (ssize_t N; (N = read(Fd, Buf, sizeof(Buf))) > 0;)
+    Bytes.append(Buf, static_cast<size_t>(N));
+  return Bytes;
+}
+
+} // namespace
+
+TEST(ServerSocket, LoopbackRoundTripMatchesOneShot) {
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Server S(Opts);
+  std::atomic<bool> Stop{false};
+  std::string Path =
+      "/tmp/lao-servertests-" + std::to_string(getpid()) + "-rt.sock";
+  std::string Error;
+  int ListenFd = listenUnixSocket(Path, Error);
+  ASSERT_GE(ListenFd, 0) << Error;
+  std::thread Acceptor([&] { runSocketServer(S, ListenFd, Stop); });
+
+  int Fd = connectUnixSocket(Path, Error);
+  ASSERT_GE(Fd, 0) << Error;
+  Request R;
+  R.Id = 1;
+  R.Text = SimpleFunc;
+  BatchRequest B;
+  B.Id = 2;
+  B.Texts = {SimpleFunc, SimpleFunc};
+  ASSERT_TRUE(writeBytes(Fd, encodeRequest(R) + encodeBatchRequest(B)));
+  shutdown(Fd, SHUT_WR);
+  auto Responses = readAllResponses(readToEof(Fd));
+  close(Fd);
+  Stop.store(true);
+  Acceptor.join();
+  close(ListenFd);
+  unlink(Path.c_str());
+
+  ASSERT_EQ(Responses.size(), 2u);
+  std::string Expected = oneShot(SimpleFunc);
+  EXPECT_EQ(Responses[0].Kind, FrameKind::Single);
+  EXPECT_TRUE(Responses[0].Single.Ok) << Responses[0].Single.RecordJson;
+  EXPECT_EQ(Responses[0].Single.IR, Expected);
+  EXPECT_EQ(Responses[1].Kind, FrameKind::Batch);
+  ASSERT_EQ(Responses[1].Batch.Items.size(), 2u);
+  for (const Response &Item : Responses[1].Batch.Items)
+    EXPECT_EQ(Item.IR, Expected);
+}
+
+TEST(ServerSocket, ConcurrentConnectionsStayDeterministic) {
+  // Two connections share one 4-worker pool. Every response must be
+  // byte-identical to a serial 1-worker stdio run of the same text,
+  // and the per-request counter deltas must match too — concurrency
+  // across *connections* may not bleed state any more than concurrency
+  // across workers does.
+  std::vector<std::string> Texts;
+  for (const SuiteSpec &Spec : allSuites()) {
+    for (Workload &W : Spec.Make()) {
+      Texts.push_back(printFunction(*W.F));
+      if (Texts.size() >= 24)
+        break;
+    }
+    if (Texts.size() >= 24)
+      break;
+  }
+  ASSERT_GE(Texts.size(), 8u);
+
+  // Serial baseline: one worker, one stream, ids 1..N.
+  std::string SerialFrames;
+  for (size_t K = 0; K < Texts.size(); ++K) {
+    Request R;
+    R.Id = K + 1;
+    R.Text = Texts[K];
+    SerialFrames += encodeRequest(R);
+  }
+  ServerOptions SerialOpts;
+  SerialOpts.NumWorkers = 1;
+  SerialOpts.CollectRecords = true;
+  Server Serial(SerialOpts);
+  {
+    std::istringstream In(SerialFrames);
+    std::ostringstream Out;
+    ASSERT_EQ(Serial.serve(In, Out), 0);
+  }
+  ASSERT_EQ(Serial.records().size(), Texts.size());
+
+  ServerOptions Opts;
+  Opts.NumWorkers = 4;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::atomic<bool> Stop{false};
+  std::string Path =
+      "/tmp/lao-servertests-" + std::to_string(getpid()) + "-cc.sock";
+  std::string Error;
+  int ListenFd = listenUnixSocket(Path, Error);
+  ASSERT_GE(ListenFd, 0) << Error;
+  std::thread Acceptor([&] { runSocketServer(S, ListenFd, Stop); });
+
+  // Each connection submits every other text, both fully pipelined.
+  auto Client = [&](size_t Parity, std::vector<AnyResponse> &Out) {
+    std::string Err;
+    int Fd = connectUnixSocket(Path, Err);
+    ASSERT_GE(Fd, 0) << Err;
+    std::string Frames;
+    for (size_t K = Parity; K < Texts.size(); K += 2) {
+      Request R;
+      R.Id = K + 1; // Ids match the serial run's, so records align.
+      R.Text = Texts[K];
+      Frames += encodeRequest(R);
+    }
+    ASSERT_TRUE(writeBytes(Fd, Frames));
+    shutdown(Fd, SHUT_WR);
+    Out = readAllResponses(readToEof(Fd));
+    close(Fd);
+  };
+  std::vector<AnyResponse> Even, Odd;
+  std::thread C0([&] { Client(0, Even); });
+  std::thread C1([&] { Client(1, Odd); });
+  C0.join();
+  C1.join();
+  Stop.store(true);
+  Acceptor.join();
+  close(ListenFd);
+  unlink(Path.c_str());
+
+  // Responses arrive in per-connection submission order, byte-identical
+  // to the serial run's IR for the same id.
+  auto CheckStream = [&](const std::vector<AnyResponse> &Got,
+                         size_t Parity) {
+    ASSERT_EQ(Got.size(), (Texts.size() - Parity + 1) / 2)
+        << "some requests went unanswered";
+    size_t K = Parity;
+    for (const AnyResponse &A : Got) {
+      ASSERT_EQ(A.Kind, FrameKind::Single);
+      EXPECT_EQ(A.Single.Id, K + 1) << "per-connection order broke";
+      EXPECT_TRUE(A.Single.Ok) << A.Single.RecordJson;
+      EXPECT_EQ(A.Single.IR, Serial.records()[K].IR)
+          << "request " << K + 1;
+      K += 2;
+    }
+  };
+  ASSERT_EQ(Even.size() + Odd.size(), Texts.size());
+  CheckStream(Even, 0);
+  CheckStream(Odd, 1);
+
+  // The shared report merged both connections; per-request counter
+  // deltas are identical to the serial run's, matched by id.
+  EXPECT_EQ(S.report().NumOk, Texts.size());
+  ASSERT_EQ(S.records().size(), Texts.size());
+  std::map<uint64_t, const RequestRecord *> ById;
+  for (const RequestRecord &Rec : S.records())
+    ById[Rec.Id] = &Rec;
+  for (const RequestRecord &Ref : Serial.records()) {
+    ASSERT_TRUE(ById.count(Ref.Id));
+    const RequestRecord &Got = *ById[Ref.Id];
+    EXPECT_EQ(Got.IR, Ref.IR);
+    EXPECT_EQ(Got.Moves, Ref.Moves);
+    EXPECT_EQ(Got.Counters, Ref.Counters)
+        << "cross-connection stat bleed on request " << Ref.Id;
+  }
+}
+
+TEST(ServerSocket, ShutdownDrainsInFlightFrames) {
+  // Frames already buffered in the kernel when the stop flag rises must
+  // still be answered: the stop-aware streambuf only reports EOF once
+  // the fd is quiet, and serve() flushes its reorder buffer before
+  // returning 0 — the graceful-shutdown contract of SIGTERM.
+  int SV[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, SV), 0);
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Server S(Opts);
+  std::atomic<bool> Stop{false};
+  int Rc = -1;
+  std::thread Serving([&] {
+    FdStreamBuf InBuf(SV[0], &Stop);
+    FdStreamBuf OutBuf(SV[0]);
+    std::istream In(&InBuf);
+    std::ostream Out(&OutBuf);
+    Rc = S.serve(In, Out);
+    Out.flush();
+    shutdown(SV[0], SHUT_WR);
+  });
+
+  std::string Frames;
+  for (uint64_t K = 1; K <= 6; ++K) {
+    Request R;
+    R.Id = K;
+    R.Text = SimpleFunc;
+    Frames += encodeRequest(R);
+  }
+  ASSERT_TRUE(writeBytes(SV[1], Frames));
+  // No half-close on the client side: EOF can only come from the flag.
+  Stop.store(true);
+  auto Responses = readAllResponses(readToEof(SV[1]));
+  Serving.join();
+  close(SV[0]);
+  close(SV[1]);
+
+  EXPECT_EQ(Rc, 0) << "a drained shutdown is a clean exit";
+  ASSERT_EQ(Responses.size(), 6u);
+  for (size_t K = 0; K < Responses.size(); ++K) {
+    EXPECT_EQ(Responses[K].Single.Id, K + 1);
+    EXPECT_TRUE(Responses[K].Single.Ok) << Responses[K].Single.RecordJson;
+  }
 }

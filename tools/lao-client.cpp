@@ -4,15 +4,26 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Spawns a lao-server (connected over pipes), streams a batch of
-// compile requests into it, and collects the framed responses. All
-// requests are pipelined before the first response is read (a reader
-// thread drains the server concurrently), so a multi-worker server
-// really does compile them interleaved.
+// Drives a lao-server: spawns one over pipes and/or connects to one
+// over a socket, streams compile requests into it — singly or packed
+// into BAT batch frames — and collects the framed responses. All
+// frames are pipelined before the first response is read (a reader
+// loop drains the server concurrently), so a multi-worker server
+// really does compile them interleaved. The reader polls the spawned
+// server process while it waits, so a server that dies mid-run is
+// reported as a clear error instead of a hang.
 //
-//   lao-client --server="<cmd>" [options] <file.lai>...
+//   lao-client [transport] [options] <file.lai>...
 //     --server="cmd"      server command line, run via /bin/sh -c
-//                         (e.g. --server="./tools/lao-server --workers=4")
+//                         (e.g. --server="./tools/lao-server --workers=4").
+//                         Alone: talk over its stdin/stdout pipes.
+//                         With --connect-*: spawn it, then connect.
+//     --connect-unix=PATH talk to a Unix-domain socket server
+//     --connect-tcp=SPEC  talk to a TCP server ("port" or "host:port")
+//     --batch=N           pack up to N functions per BAT frame
+//                         (default 1 = one REQ frame per function)
+//     --max-body-bytes=N  response frame size limit (default 64 MiB —
+//                         batched responses are large)
 //     --pipeline=<name>   preset for every request (default Lphi,ABI+C)
 //     --ssa               ask the server to build optimized SSA first
 //     --deadline-ms=N     per-request deadline
@@ -24,6 +35,10 @@
 //                         in-process pipeline on the same text — the
 //                         server-vs-lao-opt equivalence gate CI runs
 //
+// When the client spawned a socket-mode server itself, it finishes by
+// sending SIGTERM and requires a clean exit 0 — the graceful-shutdown
+// path is part of what a socket selftest proves.
+//
 // Exit status: 0 when every response is ok (and, under --selftest,
 // byte-identical); 1 otherwise; 2 on bad usage.
 //
@@ -33,8 +48,10 @@
 #include "ir/IRPrinter.h"
 #include "outofssa/Pipeline.h"
 #include "server/Protocol.h"
+#include "server/SocketTransport.h"
 #include "workloads/Suites.h"
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -45,6 +62,9 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -55,6 +75,10 @@ namespace {
 
 struct Options {
   std::string ServerCmd;
+  std::string ConnectUnix;
+  std::string ConnectTcp;
+  uint64_t Batch = 1;
+  size_t MaxBodyBytes = 64u << 20;
   std::string Pipeline = "Lphi,ABI+C";
   bool BuildSSA = false;
   uint64_t DeadlineMs = 0;
@@ -66,48 +90,107 @@ struct Options {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s --server=\"<cmd>\" [--pipeline=<preset>] [--ssa] "
-               "[--deadline-ms=N] [--print-records] [--quiet] "
-               "(--selftest | <file.lai>...)\n",
+               "usage: %s [--server=\"<cmd>\"] [--connect-unix=PATH | "
+               "--connect-tcp=SPEC] [--batch=N] [--max-body-bytes=N] "
+               "[--pipeline=<preset>] [--ssa] [--deadline-ms=N] "
+               "[--print-records] [--quiet] (--selftest | <file.lai>...)\n",
                Argv0);
   return 2;
 }
 
-struct ServerProcess {
+/// How the client reaches the server. Over pipes WriteFd/ReadFd differ;
+/// over a socket they are the same fd. Pid is -1 for an external
+/// (unspawned) server.
+struct Transport {
   pid_t Pid = -1;
-  int WriteFd = -1; ///< Our requests -> server stdin.
-  int ReadFd = -1;  ///< Server stdout -> our responses.
+  int WriteFd = -1;
+  int ReadFd = -1;
+  bool IsSocket = false;
 };
 
-bool spawnServer(const std::string &Cmd, ServerProcess &SP) {
-  int ToChild[2], FromChild[2];
-  if (pipe(ToChild) != 0 || pipe(FromChild) != 0)
+bool spawnServer(const std::string &Cmd, bool OverPipes, Transport &T) {
+  int ToChild[2] = {-1, -1}, FromChild[2] = {-1, -1};
+  if (OverPipes && (pipe(ToChild) != 0 || pipe(FromChild) != 0))
     return false;
   pid_t P = fork();
   if (P < 0)
     return false;
   if (P == 0) {
-    dup2(ToChild[0], STDIN_FILENO);
-    dup2(FromChild[1], STDOUT_FILENO);
-    close(ToChild[0]);
-    close(ToChild[1]);
-    close(FromChild[0]);
-    close(FromChild[1]);
-    execl("/bin/sh", "sh", "-c", Cmd.c_str(), static_cast<char *>(nullptr));
+    if (OverPipes) {
+      dup2(ToChild[0], STDIN_FILENO);
+      dup2(FromChild[1], STDOUT_FILENO);
+      close(ToChild[0]);
+      close(ToChild[1]);
+      close(FromChild[0]);
+      close(FromChild[1]);
+    } else {
+      // A socket server never reads stdin; detach it so it cannot
+      // steal bytes meant for us.
+      int Null = open("/dev/null", O_RDONLY);
+      if (Null >= 0) {
+        dup2(Null, STDIN_FILENO);
+        close(Null);
+      }
+    }
+    // "exec" so the shell replaces itself: the pid we signal and reap
+    // is the server, not a wrapper that would orphan it on SIGTERM.
+    std::string ExecCmd = "exec " + Cmd;
+    execl("/bin/sh", "sh", "-c", ExecCmd.c_str(),
+          static_cast<char *>(nullptr));
     _exit(127);
   }
-  close(ToChild[0]);
-  close(FromChild[1]);
-  SP.Pid = P;
-  SP.WriteFd = ToChild[1];
-  SP.ReadFd = FromChild[0];
+  if (OverPipes) {
+    close(ToChild[0]);
+    close(FromChild[1]);
+    T.WriteFd = ToChild[1];
+    T.ReadFd = FromChild[0];
+  }
+  T.Pid = P;
   return true;
+}
+
+/// Reaps T.Pid without blocking. Returns true (and fills \p Status) the
+/// first time the child is found dead.
+bool reapIfDead(Transport &T, int &Status) {
+  if (T.Pid < 0)
+    return false;
+  int St = 0;
+  if (waitpid(T.Pid, &St, WNOHANG) != T.Pid)
+    return false;
+  Status = St;
+  T.Pid = -1;
+  return true;
+}
+
+/// Connects to the requested socket, retrying while a just-spawned
+/// server is still binding. Gives up immediately if that server dies.
+int connectWithRetry(const Options &Opts, Transport &T, int &ChildStatus,
+                     bool &ChildDead) {
+  std::string Error;
+  for (int Try = 0; Try < 120; ++Try) {
+    int Fd = !Opts.ConnectUnix.empty()
+                 ? connectUnixSocket(Opts.ConnectUnix, Error)
+                 : connectTcpSocket(Opts.ConnectTcp, Error);
+    if (Fd >= 0)
+      return Fd;
+    if (reapIfDead(T, ChildStatus)) {
+      ChildDead = true;
+      return -1;
+    }
+    if (T.Pid < 0)
+      break; // External server: no point waiting for it to appear.
+    usleep(50 * 1000);
+  }
+  std::fprintf(stderr, "%s\n", Error.c_str());
+  return -1;
 }
 
 bool writeAll(int Fd, const std::string &Data) {
   size_t Off = 0;
   while (Off < Data.size()) {
     ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0 && errno == EINTR)
+      continue;
     if (N <= 0)
       return false;
     Off += static_cast<size_t>(N);
@@ -120,6 +203,13 @@ struct Job {
   Request Req;
   std::string Label;    ///< File path or suite/function name.
   std::string Expected; ///< Byte-exact expected IR (selftest only).
+};
+
+/// One wire frame: a single REQ or a BAT covering several jobs.
+struct Frame {
+  uint64_t Id = 0;
+  std::string Encoded;
+  std::vector<size_t> JobIdx; ///< Item position -> index into Jobs.
 };
 
 bool loadFileJobs(const Options &Opts, std::vector<Job> &Jobs) {
@@ -171,6 +261,41 @@ void loadSelftestJobs(const Options &Opts, std::vector<Job> &Jobs) {
     }
 }
 
+/// Packs jobs into wire frames: one REQ each, or BAT frames of up to
+/// Opts.Batch functions (every job shares the same option block by
+/// construction).
+std::vector<Frame> buildFrames(const Options &Opts,
+                               const std::vector<Job> &Jobs) {
+  std::vector<Frame> Frames;
+  if (Opts.Batch <= 1) {
+    for (size_t K = 0; K < Jobs.size(); ++K) {
+      Frame F;
+      F.Id = Jobs[K].Req.Id;
+      F.Encoded = encodeRequest(Jobs[K].Req);
+      F.JobIdx.push_back(K);
+      Frames.push_back(std::move(F));
+    }
+    return Frames;
+  }
+  uint64_t NextId = 1;
+  for (size_t K = 0; K < Jobs.size();) {
+    BatchRequest B;
+    B.Id = NextId++;
+    B.Pipeline = Opts.Pipeline;
+    B.BuildSSA = Opts.BuildSSA;
+    B.DeadlineMs = Opts.DeadlineMs;
+    Frame F;
+    F.Id = B.Id;
+    for (uint64_t N = 0; N < Opts.Batch && K < Jobs.size(); ++N, ++K) {
+      B.Texts.push_back(Jobs[K].Req.Text);
+      F.JobIdx.push_back(K);
+    }
+    F.Encoded = encodeBatchRequest(B);
+    Frames.push_back(std::move(F));
+  }
+  return Frames;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -179,6 +304,16 @@ int main(int Argc, char **Argv) {
     std::string A = Argv[K];
     if (A.rfind("--server=", 0) == 0) {
       Opts.ServerCmd = A.substr(std::strlen("--server="));
+    } else if (A.rfind("--connect-unix=", 0) == 0) {
+      Opts.ConnectUnix = A.substr(std::strlen("--connect-unix="));
+    } else if (A.rfind("--connect-tcp=", 0) == 0) {
+      Opts.ConnectTcp = A.substr(std::strlen("--connect-tcp="));
+    } else if (A.rfind("--batch=", 0) == 0) {
+      Opts.Batch = std::strtoull(A.c_str() + std::strlen("--batch="),
+                                 nullptr, 10);
+    } else if (A.rfind("--max-body-bytes=", 0) == 0) {
+      Opts.MaxBodyBytes = static_cast<size_t>(std::strtoull(
+          A.c_str() + std::strlen("--max-body-bytes="), nullptr, 10));
     } else if (A.rfind("--pipeline=", 0) == 0) {
       Opts.Pipeline = A.substr(std::strlen("--pipeline="));
     } else if (A == "--ssa") {
@@ -200,7 +335,13 @@ int main(int Argc, char **Argv) {
       Opts.Files.push_back(A);
     }
   }
-  if (Opts.ServerCmd.empty() || (Opts.Files.empty() && !Opts.Selftest))
+  bool UseSocket = !Opts.ConnectUnix.empty() || !Opts.ConnectTcp.empty();
+  if (!Opts.ConnectUnix.empty() && !Opts.ConnectTcp.empty()) {
+    std::fprintf(stderr, "--connect-unix and --connect-tcp are exclusive\n");
+    return usage(Argv[0]);
+  }
+  if ((Opts.ServerCmd.empty() && !UseSocket) ||
+      (Opts.Files.empty() && !Opts.Selftest))
     return usage(Argv[0]);
   if (Opts.Selftest &&
       !pipelinePresetOpt(Opts.Pipeline)) {
@@ -214,58 +355,138 @@ int main(int Argc, char **Argv) {
     loadSelftestJobs(Opts, Jobs);
   else if (!loadFileJobs(Opts, Jobs))
     return 1;
+  std::vector<Frame> Frames = buildFrames(Opts, Jobs);
 
   // A dying server must surface as a failed write, not a fatal signal.
   signal(SIGPIPE, SIG_IGN);
-  ServerProcess SP;
-  if (!spawnServer(Opts.ServerCmd, SP)) {
+  Transport T;
+  T.IsSocket = UseSocket;
+  if (!Opts.ServerCmd.empty() &&
+      !spawnServer(Opts.ServerCmd, /*OverPipes=*/!UseSocket, T)) {
     std::fprintf(stderr, "cannot spawn server '%s'\n",
                  Opts.ServerCmd.c_str());
     return 1;
   }
+  int ChildStatus = 0;
+  bool ChildDead = false;
+  if (UseSocket) {
+    int Fd = connectWithRetry(Opts, T, ChildStatus, ChildDead);
+    if (Fd < 0) {
+      if (ChildDead)
+        std::fprintf(stderr, "server exited with status %d before "
+                             "accepting connections\n",
+                     WIFEXITED(ChildStatus) ? WEXITSTATUS(ChildStatus) : -1);
+      return 1;
+    }
+    T.WriteFd = T.ReadFd = Fd;
+  }
 
-  // Drain the server concurrently so pipelining every request up front
-  // cannot deadlock on a full pipe in either direction.
+  // Drain the responses concurrently with the writes below, so
+  // pipelining every frame up front cannot deadlock on a full pipe or
+  // the server's backpressure window. The reader polls rather than
+  // blocks so a server that dies before answering becomes a clear
+  // error, not a hang: every idle tick checks whether the spawned
+  // child is still alive. It owns T.Pid until joined.
   std::string ResponseBytes;
   std::thread Reader([&] {
-    char Buf[65536];
-    for (ssize_t N; (N = read(SP.ReadFd, Buf, sizeof(Buf))) > 0;)
-      ResponseBytes.append(Buf, static_cast<size_t>(N));
+    for (;;) {
+      pollfd P{T.ReadFd, POLLIN, 0};
+      int R = poll(&P, 1, 100);
+      if (R < 0) {
+        if (errno == EINTR)
+          continue;
+        return;
+      }
+      if (R > 0) {
+        char Buf[65536];
+        ssize_t N = read(T.ReadFd, Buf, sizeof(Buf));
+        if (N > 0) {
+          ResponseBytes.append(Buf, static_cast<size_t>(N));
+          continue;
+        }
+        return; // EOF (or a hard error): the response stream is over.
+      }
+      if (!reapIfDead(T, ChildStatus))
+        continue;
+      ChildDead = true;
+      // The child is gone; salvage whatever it managed to flush, then
+      // stop waiting for responses that can no longer arrive.
+      for (;;) {
+        pollfd P2{T.ReadFd, POLLIN, 0};
+        if (poll(&P2, 1, 0) <= 0 || !(P2.revents & POLLIN))
+          return;
+        char Buf[65536];
+        ssize_t N = read(T.ReadFd, Buf, sizeof(Buf));
+        if (N <= 0)
+          return;
+        ResponseBytes.append(Buf, static_cast<size_t>(N));
+      }
+    }
   });
 
+  // Submit every frame, then half-close our sending direction so the
+  // server sees EOF once it drains.
   bool WriteFailed = false;
-  for (const Job &J : Jobs)
-    if (!writeAll(SP.WriteFd, encodeRequest(J.Req))) {
+  for (const Frame &F : Frames)
+    if (!writeAll(T.WriteFd, F.Encoded)) {
       WriteFailed = true;
       break;
     }
-  close(SP.WriteFd);
+  if (T.IsSocket)
+    shutdown(T.WriteFd, SHUT_WR);
+  else
+    close(T.WriteFd);
   Reader.join();
-  close(SP.ReadFd);
-  int ChildStatus = 0;
-  waitpid(SP.Pid, &ChildStatus, 0);
+  close(T.ReadFd);
+
+  // Settle the child. A pipe server exits on its own after EOF; a
+  // spawned socket server is asked to shut down gracefully — SIGTERM
+  // must drain and exit 0, which is exactly the shutdown path CI gates.
+  if (T.Pid >= 0) {
+    if (T.IsSocket)
+      kill(T.Pid, SIGTERM);
+    waitpid(T.Pid, &ChildStatus, 0);
+    T.Pid = -1;
+  }
+  bool Spawned = !Opts.ServerCmd.empty();
+  bool ServerClean =
+      !Spawned ||
+      (!ChildDead && WIFEXITED(ChildStatus) && WEXITSTATUS(ChildStatus) == 0);
 
   if (WriteFailed) {
-    std::fprintf(stderr, "server went away while submitting requests\n");
+    std::fprintf(stderr, "server went away while submitting requests%s\n",
+                 ChildDead ? " (process died)" : "");
     return 1;
   }
-  bool ServerClean =
-      WIFEXITED(ChildStatus) && WEXITSTATUS(ChildStatus) == 0;
-  if (!ServerClean)
+  if (ChildDead)
+    std::fprintf(stderr,
+                 "server process %s before answering all requests\n",
+                 WIFEXITED(ChildStatus)
+                     ? "exited"
+                     : WIFSIGNALED(ChildStatus) ? "was killed" : "vanished");
+  else if (Spawned && !ServerClean)
     std::fprintf(stderr, "server exited with status %d\n",
                  WIFEXITED(ChildStatus) ? WEXITSTATUS(ChildStatus) : -1);
 
-  // Parse the response stream. Responses arrive in request order; check
-  // that while indexing by id for the comparisons.
+  // Parse the response stream: RSP frames for single requests, RSB for
+  // batches, arriving in request order. Batch items map back to jobs by
+  // position.
   std::istringstream In(ResponseBytes);
   FrameLimits Limits;
-  std::map<uint64_t, Response> ById;
-  uint64_t Failures = 0, Count = 0;
+  Limits.MaxBodyBytes = Opts.MaxBodyBytes;
+  std::vector<Response> JobRsp(Jobs.size());
+  std::vector<bool> HaveRsp(Jobs.size(), false);
+  std::map<uint64_t, const Frame *> FrameById;
+  for (const Frame &F : Frames)
+    FrameById[F.Id] = &F;
+  uint64_t Failures = 0, FrameCount = 0;
   bool OrderOk = true;
   for (;;) {
+    FrameKind Kind = FrameKind::Single;
     Response Rsp;
+    BatchResponse Batch;
     std::string Error;
-    FrameStatus S = readResponse(In, Limits, Rsp, Error);
+    FrameStatus S = readResponseFrame(In, Limits, Kind, Rsp, Batch, Error);
     if (S == FrameStatus::Eof)
       break;
     if (S != FrameStatus::Ok) {
@@ -273,25 +494,54 @@ int main(int Argc, char **Argv) {
       ++Failures;
       break;
     }
-    ++Count;
-    OrderOk &= Count > Jobs.size() || Rsp.Id == Jobs[Count - 1].Req.Id;
-    if (Opts.PrintRecords)
-      std::printf("%s\n", Rsp.RecordJson.c_str());
-    ById[Rsp.Id] = std::move(Rsp);
+    uint64_t Id = Kind == FrameKind::Single ? Rsp.Id : Batch.Id;
+    ++FrameCount;
+    OrderOk &= FrameCount > Frames.size() ||
+               Id == Frames[FrameCount - 1].Id;
+    auto It = FrameById.find(Id);
+    const Frame *F = It == FrameById.end() ? nullptr : It->second;
+    if (Kind == FrameKind::Single) {
+      if (Opts.PrintRecords)
+        std::printf("%s\n", Rsp.RecordJson.c_str());
+      if (F && F->JobIdx.size() == 1 && !HaveRsp[F->JobIdx[0]]) {
+        JobRsp[F->JobIdx[0]] = std::move(Rsp);
+        HaveRsp[F->JobIdx[0]] = true;
+      }
+      continue;
+    }
+    if (Opts.PrintRecords) {
+      std::printf("%s\n", Batch.SummaryJson.c_str());
+      for (const Response &Item : Batch.Items)
+        std::printf("%s\n", Item.RecordJson.c_str());
+    }
+    if (!F || Batch.Items.size() != F->JobIdx.size()) {
+      // A summary-only error RSB (malformed/oversized batch) or an id
+      // we never sent: the member jobs stay unanswered.
+      std::fprintf(stderr, "batch %llu failed: %s\n",
+                   static_cast<unsigned long long>(Id),
+                   Batch.SummaryJson.c_str());
+      ++Failures;
+      continue;
+    }
+    for (size_t K = 0; K < Batch.Items.size(); ++K)
+      if (!HaveRsp[F->JobIdx[K]]) {
+        JobRsp[F->JobIdx[K]] = std::move(Batch.Items[K]);
+        HaveRsp[F->JobIdx[K]] = true;
+      }
   }
   if (!OrderOk) {
     std::fprintf(stderr, "responses arrived out of request order\n");
     ++Failures;
   }
 
-  for (const Job &J : Jobs) {
-    auto It = ById.find(J.Req.Id);
-    if (It == ById.end()) {
+  for (size_t K = 0; K < Jobs.size(); ++K) {
+    const Job &J = Jobs[K];
+    if (!HaveRsp[K]) {
       std::fprintf(stderr, "%s: no response\n", J.Label.c_str());
       ++Failures;
       continue;
     }
-    const Response &Rsp = It->second;
+    const Response &Rsp = JobRsp[K];
     if (!Rsp.Ok) {
       std::fprintf(stderr, "%s: %s\n", J.Label.c_str(),
                    Rsp.RecordJson.c_str());
@@ -312,8 +562,10 @@ int main(int Argc, char **Argv) {
 
   if (Opts.Selftest)
     std::fprintf(stderr,
-                 "selftest: %zu functions, %llu failures (server %s)\n",
-                 Jobs.size(), static_cast<unsigned long long>(Failures),
+                 "selftest: %zu functions in %zu frames, %llu failures "
+                 "(server %s)\n",
+                 Jobs.size(), Frames.size(),
+                 static_cast<unsigned long long>(Failures),
                  ServerClean ? "clean" : "UNCLEAN");
   return Failures == 0 && ServerClean ? 0 : 1;
 }
