@@ -8,10 +8,15 @@
 // problem becomes different: coalescing (or splitting) variables has a
 // strong impact on the colorability of the interference graph during
 // the register allocator phase" — listed as out of scope there. This
-// bench runs our Chaitin-Briggs allocator after each out-of-SSA
-// configuration at several register-file sizes and reports spills plus
-// the static (5^depth-weighted) count of spill accesses, answering: does
-// the pinning-based coalescing pay for its move savings with spills?
+// bench runs every allocator strategy x spill model combination after
+// each out-of-SSA configuration at several register-file sizes and
+// reports spills plus the static count of spill accesses, answering:
+// does the pinning-based coalescing pay for its move savings with
+// spills — and does the answer depend on the allocator asking?
+//
+// Record key shape (BENCH_regpressure.json): (suite, config, num_regs,
+// allocator, spill_mode) — scripts/check_bench_regression.py gates the
+// chaitin-briggs/spill-everywhere records bit-identically.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,7 +38,7 @@ struct PressureTotals {
 };
 
 PressureTotals allocateSuite(const std::vector<Workload> &Suite,
-                             const char *Preset, unsigned NumRegs) {
+                             const char *Preset, RegAllocOptions Opts) {
   // Same deterministic shape as runOnSuite: allocate each function
   // independently (in parallel when the machine allows), reduce in suite
   // order.
@@ -41,8 +46,6 @@ PressureTotals allocateSuite(const std::vector<Workload> &Suite,
   auto AllocOne = [&](size_t I) {
     auto F = cloneFunction(*Suite[I].F);
     runPipeline(*F, pipelinePreset(Preset));
-    RegAllocOptions Opts;
-    Opts.NumRegs = NumRegs;
     Results[I] = allocateRegisters(*F, Opts);
   };
   if (sharedPool().numThreads() > 1)
@@ -63,36 +66,55 @@ PressureTotals allocateSuite(const std::vector<Workload> &Suite,
   return T;
 }
 
-/// JSON records for --json: one per (num_regs, suite, config) cell of the
-/// printed tables, same numbers (recorded while printing).
+/// The strategy-tier matrix measured below. chaitin-briggs +
+/// spill-everywhere comes first: its records are the historically
+/// committed baseline and must stay bit-identical.
+const RegAllocOptions Combos[] = {
+    {AllocatorKind::ChaitinBriggs, SpillModelKind::SpillEverywhere},
+    {AllocatorKind::ChaitinBriggs, SpillModelKind::LoadStoreOpt},
+    {AllocatorKind::Chordal, SpillModelKind::SpillEverywhere},
+    {AllocatorKind::Chordal, SpillModelKind::LoadStoreOpt},
+};
+
+/// JSON records for --json: one per (combo, num_regs, suite, config)
+/// cell of the printed tables, same numbers (recorded while printing).
 struct PressureRecord {
   std::string Suite;
   std::string Config;
   unsigned NumRegs;
+  std::string Allocator;
+  std::string SpillMode;
   PressureTotals Totals;
 };
 std::vector<PressureRecord> Records;
 
 void printPressureTables() {
-  for (unsigned NumRegs : {6u, 8u, 12u}) {
-    std::printf("\nRegister pressure: spills (spill loads+stores) with %u "
-                "registers\n",
-                NumRegs);
-    std::printf("%-14s %22s %22s %22s\n", "benchmark", "Lphi,ABI+C",
-                "LABI+C", "C,naiveABI+C");
-    for (const auto &[Name, Suite] : suites()) {
-      std::printf("%-14s", Name.c_str());
-      for (const char *Preset : {"Lphi,ABI+C", "LABI+C", "C,naiveABI+C"}) {
-        PressureTotals T = allocateSuite(Suite, Preset, NumRegs);
-        Records.push_back({Name, Preset, NumRegs, T});
-        std::string Cell =
-            std::to_string(T.Spills) + " (" +
-            std::to_string(T.SpillAccesses) + ")";
-        if (T.Failures)
-          Cell += " !" + std::to_string(T.Failures);
-        std::printf("%22s", Cell.c_str());
+  for (const RegAllocOptions &Combo : Combos) {
+    for (unsigned NumRegs : {6u, 8u, 12u}) {
+      std::printf("\nRegister pressure [%s/%s]: spills (spill "
+                  "loads+stores) with %u registers\n",
+                  allocatorName(Combo.Allocator),
+                  spillModelName(Combo.SpillMode), NumRegs);
+      std::printf("%-14s %22s %22s %22s\n", "benchmark", "Lphi,ABI+C",
+                  "LABI+C", "C,naiveABI+C");
+      for (const auto &[Name, Suite] : suites()) {
+        std::printf("%-14s", Name.c_str());
+        for (const char *Preset : {"Lphi,ABI+C", "LABI+C", "C,naiveABI+C"}) {
+          RegAllocOptions Opts = Combo;
+          Opts.NumRegs = NumRegs;
+          PressureTotals T = allocateSuite(Suite, Preset, Opts);
+          Records.push_back({Name, Preset, NumRegs,
+                             allocatorName(Combo.Allocator),
+                             spillModelName(Combo.SpillMode), T});
+          std::string Cell =
+              std::to_string(T.Spills) + " (" +
+              std::to_string(T.SpillAccesses) + ")";
+          if (T.Failures)
+            Cell += " !" + std::to_string(T.Failures);
+          std::printf("%22s", Cell.c_str());
+        }
+        std::printf("\n");
       }
-      std::printf("\n");
     }
   }
   std::fflush(stdout);
@@ -108,6 +130,8 @@ void writePressureJson(const std::string &Path) {
     W.key("suite").value(R.Suite);
     W.key("config").value(R.Config);
     W.key("num_regs").value(R.NumRegs);
+    W.key("allocator").value(R.Allocator);
+    W.key("spill_mode").value(R.SpillMode);
     W.key("spills").value(R.Totals.Spills);
     W.key("spill_accesses").value(R.Totals.SpillAccesses);
     W.key("failures").value(R.Totals.Failures);
@@ -128,18 +152,24 @@ void registerBenchmarks() {
   for (const auto &[Name, Suite] : suites()) {
     (void)Suite;
     for (const char *Preset : {"Lphi,ABI+C", "C,naiveABI+C"})
-      benchmark::RegisterBenchmark(
-          ("RegAlloc/" + Name + "/" + Preset).c_str(),
-          [Name = Name, Preset](benchmark::State &S) {
-            const std::vector<Workload> *Found = nullptr;
-            for (const auto &[N, Members] : suites())
-              if (N == Name)
-                Found = &Members;
-            for (auto _ : S) {
-              PressureTotals T = allocateSuite(*Found, Preset, 8);
-              benchmark::DoNotOptimize(T.Spills);
-            }
-          });
+      for (AllocatorKind A : {AllocatorKind::ChaitinBriggs,
+                              AllocatorKind::Chordal})
+        benchmark::RegisterBenchmark(
+            ("RegAlloc/" + Name + "/" + Preset + "/" + allocatorName(A))
+                .c_str(),
+            [Name = Name, Preset, A](benchmark::State &S) {
+              const std::vector<Workload> *Found = nullptr;
+              for (const auto &[N, Members] : suites())
+                if (N == Name)
+                  Found = &Members;
+              RegAllocOptions Opts;
+              Opts.Allocator = A;
+              Opts.NumRegs = 8;
+              for (auto _ : S) {
+                PressureTotals T = allocateSuite(*Found, Preset, Opts);
+                benchmark::DoNotOptimize(T.Spills);
+              }
+            });
   }
 }
 

@@ -2,7 +2,10 @@
 """Analysis-count regression check for the bench JSON output.
 
 Compares the per-(suite, config) records of a freshly generated
-BENCH_compiletime.json against the committed baseline. Three families of
+BENCH_compiletime.json against the committed baseline
+(register-pressure records key on (suite, config, num_regs, allocator,
+spill_mode), with the pre-strategy-tier defaults
+chaitin-briggs/spill-everywhere filled in for old baselines). Three families of
 checks, all pure counter/measurement diffs: independent of machine
 speed, deterministic, and they fail the build whenever a change
 
@@ -120,10 +123,18 @@ def records_by_key(doc, path):
                     % (path, idx, required)
                 )
         # Register-pressure records repeat each (suite, config) once per
-        # simulated register count; num_regs disambiguates them.
+        # simulated register count, allocator strategy, and spill model;
+        # num_regs/allocator/spill_mode disambiguate them. The defaults
+        # name the historical single-allocator records, so a baseline
+        # from before the strategy tier keys identically to the fresh
+        # chaitin-briggs/spill-everywhere records.
         key = (rec["suite"], rec["config"])
         if "num_regs" in rec:
-            key += (rec["num_regs"],)
+            key += (
+                rec["num_regs"],
+                rec.get("allocator", "chaitin-briggs"),
+                rec.get("spill_mode", "spill-everywhere"),
+            )
         out[key] = rec
     return out
 

@@ -196,6 +196,88 @@ class TestSecondsReport(CheckerHarness):
         self.assertNotIn("Wall-clock", out)
 
 
+class TestRegpressureKeying(CheckerHarness):
+    """The 5-tuple (suite, config, num_regs, allocator, spill_mode) key
+    for register-pressure records, with pre-strategy-tier defaults."""
+
+    def test_old_baseline_matches_explicit_default_combo(self):
+        # A baseline written before the allocator strategy tier has no
+        # allocator/spill_mode keys; the defaults must make it compare
+        # against the fresh chaitin-briggs/spill-everywhere record —
+        # bit-identically, so a spill change still fails.
+        base = bench_doc([record(num_regs=8, spills=355, counters={})])
+        fresh = bench_doc([record(num_regs=8, spills=355,
+                                  allocator="chaitin-briggs",
+                                  spill_mode="spill-everywhere",
+                                  counters={})])
+        status, out = self.run_checker(base, fresh)
+        self.assertEqual(status, 0, out)
+
+    def test_old_baseline_gates_default_combo_bit_identically(self):
+        base = bench_doc([record(num_regs=8, spills=355, counters={})])
+        fresh = bench_doc([record(num_regs=8, spills=354,
+                                  allocator="chaitin-briggs",
+                                  spill_mode="spill-everywhere",
+                                  counters={})])
+        self.assert_fails_naming(base, fresh, "spills",
+                                 "must be bit-identical")
+
+    def test_allocator_distinguishes_records(self):
+        # Same (suite, config, num_regs) but a different allocator is a
+        # different record: the chordal numbers must not be compared
+        # against (or hide behind) the chaitin-briggs baseline.
+        base = bench_doc([
+            record(num_regs=8, spills=355, allocator="chaitin-briggs",
+                   spill_mode="spill-everywhere", counters={}),
+            record(num_regs=8, spills=340, allocator="chordal",
+                   spill_mode="spill-everywhere", counters={}),
+        ])
+        status, out = self.run_checker(base, base)
+        self.assertEqual(status, 0, out)
+        # Dropping only the chordal record must fail and name it by its
+        # full 5-tuple key.
+        fresh = bench_doc([
+            record(num_regs=8, spills=355, allocator="chaitin-briggs",
+                   spill_mode="spill-everywhere", counters={}),
+        ])
+        self.assert_fails_naming(base, fresh,
+                                 "record missing from fresh output",
+                                 "valcc/Lphi,ABI+C/8/chordal")
+
+    def test_spill_mode_distinguishes_records(self):
+        base = bench_doc([
+            record(num_regs=6, spill_accesses=1943,
+                   allocator="chaitin-briggs",
+                   spill_mode="spill-everywhere", counters={}),
+            record(num_regs=6, spill_accesses=1500,
+                   allocator="chaitin-briggs",
+                   spill_mode="load-store-opt", counters={}),
+        ])
+        status, out = self.run_checker(base, base)
+        self.assertEqual(status, 0, out)
+        # A spill_accesses change on the load-store-opt record fails
+        # under its own key, not the spill-everywhere one.
+        fresh = bench_doc([
+            record(num_regs=6, spill_accesses=1943,
+                   allocator="chaitin-briggs",
+                   spill_mode="spill-everywhere", counters={}),
+            record(num_regs=6, spill_accesses=1600,
+                   allocator="chaitin-briggs",
+                   spill_mode="load-store-opt", counters={}),
+        ])
+        self.assert_fails_naming(
+            base, fresh, "spill_accesses",
+            "valcc/Lphi,ABI+C/6/chaitin-briggs/load-store-opt")
+
+    def test_records_without_num_regs_ignore_allocator_keys(self):
+        # Compile-time records have no num_regs; they keep the plain
+        # (suite, config) key even if a stray allocator key appears.
+        base = bench_doc([record(counters={})])
+        fresh = bench_doc([record(allocator="chordal", counters={})])
+        status, out = self.run_checker(base, fresh)
+        self.assertEqual(status, 0, out)
+
+
 class TestSublinearity(CheckerHarness):
     def test_lost_sublinearity_fails(self):
         def scale(n, probes, pair_cost):

@@ -65,15 +65,18 @@ DominatorTree::DominatorTree(const CFG &Cfg) : Cfg(Cfg) {
       Children[Idom[BB->id()]->id()].push_back(BB.get());
 
   unsigned Clock = 0;
+  Preorder.reserve(N);
   std::vector<std::pair<BasicBlock *, unsigned>> Stack;
   Stack.push_back({Entry, 0});
   DfsIn[Entry->id()] = ++Clock;
+  Preorder.push_back(Entry);
   while (!Stack.empty()) {
     auto &[BB, NextChild] = Stack.back();
     auto &Kids = Children[BB->id()];
     if (NextChild < Kids.size()) {
       BasicBlock *Child = Kids[NextChild++];
       DfsIn[Child->id()] = ++Clock;
+      Preorder.push_back(Child);
       Depth[Child->id()] = Depth[BB->id()] + 1;
       Stack.push_back({Child, 0});
       continue;

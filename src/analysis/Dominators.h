@@ -71,6 +71,14 @@ public:
     return Children[BB->id()];
   }
 
+  /// The reachable blocks in dominator-tree DFS preorder — the sequence
+  /// behind preorderNumber, materialized: every dominator appears before
+  /// all blocks it dominates. Walking defs in this order yields a
+  /// perfect elimination order of the (chordal) SSA interference graph;
+  /// the chordal register allocator seeds its maximum cardinality search
+  /// with it (regalloc/Chordal.cpp, docs/REGALLOC.md).
+  const std::vector<BasicBlock *> &preorderBlocks() const { return Preorder; }
+
   const CFG &cfg() const { return Cfg; }
 
 private:
@@ -81,6 +89,7 @@ private:
   // Dominance via DFS-in/out interval on the dominator tree.
   std::vector<unsigned> DfsIn;
   std::vector<unsigned> DfsOut;
+  std::vector<BasicBlock *> Preorder;
 };
 
 /// Dominance frontiers (per block) for SSA construction.

@@ -179,6 +179,17 @@ PipelineResult lao::runPipeline(Function &F, const PipelineConfig &Config,
 
   R.NumMoves = countMoves(F);
   R.WeightedMoves = weightedMoveCount(F, AM);
+
+  if (Config.RegAlloc) {
+    if (CancelledAt("coalesce"))
+      return R;
+    ScopedTimer T(R.Timings, "regalloc");
+    R.RegAlloc = allocateRegisters(F, *Config.RegAlloc);
+    // Spill code rewrote instruction lists in place; blocks/edges are
+    // untouched.
+    AM.invalidate(PreservedAnalyses::cfgOnly());
+  }
+
   R.Seconds = std::chrono::duration<double>(Clock::now() - Start).count();
   return R;
 }

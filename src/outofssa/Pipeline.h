@@ -35,6 +35,7 @@
 #include "outofssa/LeungGeorge.h"
 #include "outofssa/PhiCoalescing.h"
 #include "outofssa/Sreedhar.h"
+#include "regalloc/RegAlloc.h"
 #include "support/Timer.h"
 
 #include <functional>
@@ -66,6 +67,13 @@ struct PipelineConfig {
   /// must be discarded. The compile server's deadline enforcement plugs
   /// in here — an empty function (the default) is never polled.
   std::function<bool()> CancelCheck;
+  /// Optional register-allocation stage after coalescing: when set, the
+  /// pipeline hands the final non-SSA code to
+  /// allocateRegisters(F, *RegAlloc) and reports the outcome in
+  /// PipelineResult::RegAlloc. Move metrics (NumMoves, WeightedMoves)
+  /// are still measured *before* allocation — they are the paper's
+  /// coalescing metrics, not allocator artifacts.
+  std::optional<RegAllocOptions> RegAlloc;
 };
 
 /// Returns the preset for \p Name (see header table), or std::nullopt
@@ -82,7 +90,8 @@ PipelineConfig pipelinePreset(const std::string &Name);
 /// execution order (phases a configuration skips are absent).
 ///
 ///   split-critical-edges, constraints, sreedhar, pin-analysis,
-///   phi-coalescing, translate, sequentialize, naive-abi, coalesce
+///   phi-coalescing, translate, sequentialize, naive-abi, coalesce,
+///   regalloc
 ///
 /// Outcome of one pipeline run over one function.
 struct PipelineResult {
@@ -100,6 +109,10 @@ struct PipelineResult {
   /// Post-coalescing class-size histogram + interference-cache counters;
   /// only filled when PipelineConfig::CollectInterferenceStats is set.
   PinningContext::InterferenceReport Interference;
+  /// Outcome of the optional register-allocation stage; engaged exactly
+  /// when PipelineConfig::RegAlloc was set (check RegAlloc->Ok — an
+  /// allocation failure is not a pipeline failure).
+  std::optional<RegAllocResult> RegAlloc;
 };
 
 /// Runs the configured pipeline over \p F (mutating it from SSA to final

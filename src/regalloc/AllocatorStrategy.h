@@ -1,0 +1,71 @@
+//===- AllocatorStrategy.h - Coloring strategy interface --------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The internal seam between the allocateRegisters driver and the
+/// concrete coloring strategies. One strategy call is one
+/// build/.../select round over *fresh* analyses of the (possibly
+/// spill-rewritten) function; the driver owns the retry loop, the spill
+/// model, and the final color rewrite, so a strategy only decides which
+/// virtual gets which physical register — or which virtuals to spill.
+///
+/// Contract for tryColor:
+///  * analyses (CFG, Liveness, InterferenceGraph, spill costs) are
+///    built from scratch inside the call — the function changed since
+///    the previous round;
+///  * on success (return true) ColorOut maps every virtual register of
+///    F to a member of Pool;
+///  * on failure (return false) SpillOut names the virtuals to spill
+///    this round. If any of them is in NoSpill (a temp the spill model
+///    already created, which must not recursively spill under the
+///    spill-everywhere discipline), the driver reports the
+///    "instruction needs more registers" failure;
+///  * both containers are cleared by the callee; determinism is part
+///    of the contract (no hash-map iteration may leak into decisions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_REGALLOC_ALLOCATORSTRATEGY_H
+#define LAO_REGALLOC_ALLOCATORSTRATEGY_H
+
+#include "regalloc/RegAlloc.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace lao {
+
+class CFG;
+
+class AllocatorStrategy {
+public:
+  virtual ~AllocatorStrategy() = default;
+
+  /// One coloring round (see file comment).
+  virtual bool tryColor(Function &F, const std::vector<RegId> &Pool,
+                        const std::set<RegId> &NoSpill,
+                        std::map<RegId, RegId> &ColorOut,
+                        std::vector<RegId> &SpillOut) = 0;
+};
+
+std::unique_ptr<AllocatorStrategy> makeChaitinBriggsStrategy();
+std::unique_ptr<AllocatorStrategy> makeChordalStrategy();
+std::unique_ptr<AllocatorStrategy> makeAllocatorStrategy(AllocatorKind K);
+
+/// Shared build infrastructure (RegAlloc.cpp).
+///
+/// The allocatable register pool, in assignment preference order:
+/// R0..R7 then P0..P3, truncated to \p NumRegs (at most 12).
+std::vector<RegId> allocatablePool(unsigned NumRegs);
+
+/// Spill-cost weights: occurrences weighted 5^loopdepth (the same
+/// static frequency model as the paper's Table 5).
+std::map<RegId, double> spillCosts(const Function &F, const CFG &Cfg);
+
+} // namespace lao
+
+#endif // LAO_REGALLOC_ALLOCATORSTRATEGY_H

@@ -1,0 +1,123 @@
+//===- ChaitinBriggs.cpp - Briggs optimistic graph coloring --------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The classic build/simplify/select strategy, unchanged from the
+// original single-allocator implementation: its decisions (and hence
+// every committed spills/spill_accesses measurement taken with it) are
+// bit-identical across the strategy-tier refactor, which
+// scripts/check_bench_regression.py enforces against the committed
+// BENCH_regpressure.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/AllocatorStrategy.h"
+
+#include "analysis/InterferenceGraph.h"
+#include "analysis/Liveness.h"
+#include "ir/CFG.h"
+
+using namespace lao;
+
+namespace {
+
+class ChaitinBriggsStrategy : public AllocatorStrategy {
+public:
+  bool tryColor(Function &F, const std::vector<RegId> &Pool,
+                const std::set<RegId> &NoSpill,
+                std::map<RegId, RegId> &ColorOut,
+                std::vector<RegId> &SpillOut) override {
+    CFG Cfg(F);
+    Liveness LV(Cfg);
+    InterferenceGraph IG(F, LV);
+    std::map<RegId, double> Cost = spillCosts(F, Cfg);
+
+    std::set<RegId> PoolSet(Pool.begin(), Pool.end());
+    std::vector<RegId> Nodes = collectVirtualRegs(F);
+    unsigned K = static_cast<unsigned>(Pool.size());
+
+    // Current degree counting both virtual neighbours and allocatable
+    // physical neighbours (precolored).
+    std::map<RegId, unsigned> Degree;
+    std::set<RegId> Remaining(Nodes.begin(), Nodes.end());
+    for (RegId V : Nodes) {
+      unsigned D = 0;
+      for (RegId N : IG.neighbors(V))
+        if (Remaining.count(N) || PoolSet.count(N))
+          ++D;
+      Degree[V] = D;
+    }
+
+    // Simplify with optimistic (Briggs) spill candidates.
+    std::vector<std::pair<RegId, bool>> Stack; // (node, isSpillCandidate)
+    while (!Remaining.empty()) {
+      RegId Pick = InvalidReg;
+      for (RegId V : Remaining)
+        if (Degree[V] < K && (Pick == InvalidReg ||
+                              Degree[V] > Degree[Pick])) // Heuristic: push
+          Pick = V; // high-degree-but-colorable first, color it late.
+      bool Candidate = false;
+      if (Pick == InvalidReg) {
+        // All remaining are high degree: choose the cheapest to spill,
+        // push optimistically.
+        double Best = 0;
+        for (RegId V : Remaining) {
+          if (NoSpill.count(V))
+            continue;
+          double Ratio = Cost[V] / (1.0 + Degree[V]);
+          if (Pick == InvalidReg || Ratio < Best) {
+            Pick = V;
+            Best = Ratio;
+          }
+        }
+        if (Pick == InvalidReg)
+          Pick = *Remaining.begin(); // Only no-spill temps left: force one.
+        Candidate = true;
+      }
+      Stack.push_back({Pick, Candidate});
+      Remaining.erase(Pick);
+      for (RegId N : IG.neighbors(Pick)) {
+        auto It = Degree.find(N);
+        if (It != Degree.end() && It->second > 0)
+          --It->second;
+      }
+    }
+
+    // Select.
+    ColorOut.clear();
+    SpillOut.clear();
+    while (!Stack.empty()) {
+      auto [V, WasCandidate] = Stack.back();
+      Stack.pop_back();
+      std::set<RegId> Forbidden;
+      for (RegId N : IG.neighbors(V)) {
+        if (PoolSet.count(N))
+          Forbidden.insert(N);
+        auto It = ColorOut.find(N);
+        if (It != ColorOut.end())
+          Forbidden.insert(It->second);
+      }
+      RegId Color = InvalidReg;
+      for (RegId R : Pool)
+        if (!Forbidden.count(R)) {
+          Color = R;
+          break;
+        }
+      if (Color == InvalidReg) {
+        (void)WasCandidate;
+        SpillOut.push_back(V);
+        continue;
+      }
+      ColorOut[V] = Color;
+    }
+    return SpillOut.empty();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<AllocatorStrategy> lao::makeChaitinBriggsStrategy() {
+  return std::make_unique<ChaitinBriggsStrategy>();
+}

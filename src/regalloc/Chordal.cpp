@@ -1,0 +1,245 @@
+//===- Chordal.cpp - MCS/greedy coloring in dominance order --------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The SSA-flavoured allocator: interference graphs of programs in SSA
+// form are chordal, and chordal graphs are colored optimally by a
+// greedy pass over a perfect elimination order. The code this allocator
+// sees is *post*-out-of-SSA (coalescing deliberately merged ranges), so
+// the graph is only near-chordal — maximum cardinality search (MCS)
+// still recovers a near-perfect order, and we seed its tie-breaking
+// with dominance (the first-def order over
+// DominatorTree::preorderBlocks) so that on the chordal subgraphs the
+// order is exactly the simplicial elimination order dominance induces.
+//
+// Two refinements over plain greedy:
+//  * biased coloring — when a node has residual move affinities (Mov /
+//    ParCopy partners the coalescer could not merge), prefer a legal
+//    color already held by a partner, turning the move into a
+//    same-register no-op candidate;
+//  * NoSpill eviction — a spill temp that greedy cannot color evicts
+//    its cheapest spillable colored neighbor instead of failing the
+//    round outright (the Chaitin select stack gets this for free by
+//    re-picking; greedy needs it explicitly).
+//
+//===----------------------------------------------------------------------===//
+
+#include "regalloc/AllocatorStrategy.h"
+
+#include "analysis/Dominators.h"
+#include "analysis/InterferenceGraph.h"
+#include "analysis/Liveness.h"
+#include "ir/CFG.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+
+using namespace lao;
+
+namespace {
+
+class ChordalStrategy : public AllocatorStrategy {
+public:
+  bool tryColor(Function &F, const std::vector<RegId> &Pool,
+                const std::set<RegId> &NoSpill,
+                std::map<RegId, RegId> &ColorOut,
+                std::vector<RegId> &SpillOut) override {
+    CFG Cfg(F);
+    Liveness LV(Cfg);
+    InterferenceGraph IG(F, LV);
+    std::map<RegId, double> Cost = spillCosts(F, Cfg);
+    DominatorTree DT(Cfg);
+
+    std::set<RegId> PoolSet(Pool.begin(), Pool.end());
+    std::vector<RegId> Nodes = collectVirtualRegs(F);
+
+    // Dominance key: virtuals ordered by the instruction position of
+    // their first definition, blocks walked in dominator-tree preorder.
+    // On SSA-shaped (single-def) subgraphs this is the simplicial
+    // elimination order; values with no def (use-only, possible in
+    // hand-written input) sort last by RegId.
+    std::map<RegId, uint64_t> DefOrder;
+    uint64_t Ord = 0;
+    for (BasicBlock *BB : DT.preorderBlocks())
+      for (const Instruction &I : BB->instructions()) {
+        ++Ord;
+        for (RegId D : I.defs())
+          if (!F.isPhysical(D) && !DefOrder.count(D))
+            DefOrder[D] = Ord;
+      }
+    for (RegId V : Nodes) // Ascending RegId (Nodes is sorted).
+      if (!DefOrder.count(V))
+        DefOrder[V] = ++Ord;
+
+    // Residual move affinities — the merge hints the coalescer left
+    // behind as actual Mov/ParCopy instructions. Weighted by occurrence
+    // count; partners are tried hottest-first during biased coloring.
+    std::map<RegId, std::map<RegId, double>> AffinityW;
+    for (const auto &BB : F.blocks())
+      for (const Instruction &I : BB->instructions()) {
+        auto Pair = [&](RegId D, RegId U) {
+          if (D == U)
+            return;
+          if (!F.isPhysical(D))
+            AffinityW[D][U] += 1;
+          if (!F.isPhysical(U))
+            AffinityW[U][D] += 1;
+        };
+        if (I.isCopy() && I.numDefs() == 1 && I.numUses() == 1)
+          Pair(I.def(0), I.use(0));
+        else if (I.isParCopy())
+          for (unsigned K = 0; K < I.numDefs() && K < I.numUses(); ++K)
+            Pair(I.def(K), I.use(K));
+      }
+
+    // Maximum cardinality search over the virtual nodes, with
+    // allocatable physical neighbours counted as already numbered
+    // (they are precolored). Ties break toward the dominance key.
+    std::map<RegId, unsigned> Weight;
+    std::set<RegId> Unnumbered(Nodes.begin(), Nodes.end());
+    for (RegId V : Nodes) {
+      unsigned W = 0;
+      for (RegId N : IG.neighbors(V))
+        if (PoolSet.count(N))
+          ++W;
+      Weight[V] = W;
+    }
+    std::vector<RegId> Order;
+    Order.reserve(Nodes.size());
+    while (!Unnumbered.empty()) {
+      RegId Pick = InvalidReg;
+      for (RegId V : Unnumbered) {
+        if (Pick == InvalidReg || Weight[V] > Weight[Pick] ||
+            (Weight[V] == Weight[Pick] &&
+             (DefOrder[V] < DefOrder[Pick] ||
+              (DefOrder[V] == DefOrder[Pick] && V < Pick))))
+          Pick = V;
+      }
+      Order.push_back(Pick);
+      Unnumbered.erase(Pick);
+      for (RegId N : IG.neighbors(Pick))
+        if (Unnumbered.count(N))
+          ++Weight[N];
+    }
+
+    // Greedy coloring in MCS order with biased color choice.
+    ColorOut.clear();
+    SpillOut.clear();
+    auto ForbiddenOf = [&](RegId V) {
+      std::set<RegId> Forbidden;
+      for (RegId N : IG.neighbors(V)) {
+        if (PoolSet.count(N))
+          Forbidden.insert(N);
+        auto It = ColorOut.find(N);
+        if (It != ColorOut.end())
+          Forbidden.insert(It->second);
+      }
+      return Forbidden;
+    };
+    auto PickColor = [&](RegId V, const std::set<RegId> &Forbidden) {
+      // Biased: a legal color already held by the strongest affinity
+      // partner makes the residual move coalesceable by assignment.
+      auto AffIt = AffinityW.find(V);
+      if (AffIt != AffinityW.end()) {
+        std::vector<std::pair<RegId, double>> Partners(AffIt->second.begin(),
+                                                       AffIt->second.end());
+        std::stable_sort(Partners.begin(), Partners.end(),
+                         [](const auto &A, const auto &B) {
+                           return A.second > B.second;
+                         });
+        for (const auto &[P, W] : Partners) {
+          (void)W;
+          RegId Want = InvalidReg;
+          if (PoolSet.count(P))
+            Want = P; // Physical partner in the pool.
+          else {
+            auto It = ColorOut.find(P);
+            if (It != ColorOut.end())
+              Want = It->second;
+          }
+          if (Want != InvalidReg && !Forbidden.count(Want)) {
+            ++LAO_STAT(regalloc, biased_hits);
+            return Want;
+          }
+        }
+      }
+      for (RegId R : Pool)
+        if (!Forbidden.count(R))
+          return R;
+      return InvalidReg;
+    };
+
+    for (RegId V : Order) {
+      std::set<RegId> Forbidden = ForbiddenOf(V);
+      RegId Color = PickColor(V, Forbidden);
+      if (Color != InvalidReg) {
+        ColorOut[V] = Color;
+        continue;
+      }
+      // Uncolorable: decide who pays, by spill cost (greedy's local
+      // version of Chaitin's cost-driven spill choice). A color is
+      // freeable by evicting every spillable colored neighbor holding
+      // it — unless a precolored or NoSpill neighbor pins it. V spills
+      // itself only when it is no costlier than the cheapest freeable
+      // color's total eviction bill (NoSpill temps never self-spill; if
+      // nothing is freeable for one, the pool is genuinely too small
+      // for one instruction and V is reported so the driver turns that
+      // into the structured failure).
+      std::map<RegId, double> EvictCost;
+      std::set<RegId> Pinned;
+      for (RegId N : IG.neighbors(V)) {
+        if (PoolSet.count(N)) {
+          Pinned.insert(N);
+          continue;
+        }
+        auto It = ColorOut.find(N);
+        if (It == ColorOut.end())
+          continue;
+        if (NoSpill.count(N))
+          Pinned.insert(It->second);
+        else
+          EvictCost[It->second] +=
+              Cost[N] / (1.0 + IG.neighbors(N).size());
+      }
+      RegId BestColor = InvalidReg;
+      double Bill = 0;
+      for (const auto &[C, W] : EvictCost) {
+        if (Pinned.count(C))
+          continue;
+        if (BestColor == InvalidReg || W < Bill ||
+            (W == Bill && C < BestColor)) {
+          BestColor = C;
+          Bill = W;
+        }
+      }
+      if (!NoSpill.count(V) &&
+          (BestColor == InvalidReg ||
+           Cost[V] / (1.0 + IG.neighbors(V).size()) <= Bill)) {
+        SpillOut.push_back(V);
+        continue;
+      }
+      if (BestColor == InvalidReg) {
+        SpillOut.push_back(V); // NoSpill: the driver reports failure.
+        continue;
+      }
+      for (RegId N : IG.neighbors(V)) {
+        auto It = ColorOut.find(N);
+        if (It == ColorOut.end() || It->second != BestColor)
+          continue;
+        ColorOut.erase(It);
+        SpillOut.push_back(N);
+        ++LAO_STAT(regalloc, evictions);
+      }
+      ColorOut[V] = BestColor;
+    }
+    return SpillOut.empty();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<AllocatorStrategy> lao::makeChordalStrategy() {
+  return std::make_unique<ChordalStrategy>();
+}

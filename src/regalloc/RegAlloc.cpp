@@ -1,21 +1,29 @@
-//===- RegAlloc.cpp - Chaitin-Briggs register allocation -----------------------===//
+//===- RegAlloc.cpp - Register allocation driver --------------------------------===//
 //
 // Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+//
+// The strategy-independent half of the allocator tier: preset parsing,
+// the shared build infrastructure (pool, spill costs, virtual-register
+// collection), and the round loop that alternates a coloring strategy
+// (AllocatorStrategy.h) with a spill model (SpillModel.h) until the
+// function colors or the round budget runs out.
 //
 //===----------------------------------------------------------------------===//
 
 #include "regalloc/RegAlloc.h"
 
-#include "analysis/InterferenceGraph.h"
-#include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
 #include "ir/CFG.h"
+#include "regalloc/AllocatorStrategy.h"
+#include "regalloc/SpillModel.h"
+#include "support/Stats.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
-#include <cassert>
-#include <map>
-#include <set>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace lao;
 
@@ -33,10 +41,7 @@ std::vector<RegId> lao::collectVirtualRegs(const Function &F) {
   return std::vector<RegId>(Seen.begin(), Seen.end());
 }
 
-namespace {
-
-/// The allocatable register pool, in assignment preference order.
-std::vector<RegId> allocatablePool(unsigned NumRegs) {
+std::vector<RegId> lao::allocatablePool(unsigned NumRegs) {
   static const RegId Pool[] = {Target::R0, Target::R1, Target::R2,
                                Target::R3, Target::R4, Target::R5,
                                Target::R6, Target::R7, Target::P0,
@@ -45,9 +50,7 @@ std::vector<RegId> allocatablePool(unsigned NumRegs) {
   return std::vector<RegId>(Pool, Pool + N);
 }
 
-/// Spill-cost weights: occurrences weighted 5^loopdepth (the same static
-/// frequency model as the paper's Table 5).
-std::map<RegId, double> spillCosts(const Function &F, const CFG &Cfg) {
+std::map<RegId, double> lao::spillCosts(const Function &F, const CFG &Cfg) {
   DominatorTree DT(Cfg);
   LoopInfo LI(Cfg, DT);
   std::map<RegId, double> Cost;
@@ -67,199 +70,105 @@ std::map<RegId, double> spillCosts(const Function &F, const CFG &Cfg) {
   return Cost;
 }
 
-/// One build/simplify/select round. Returns true if a full coloring was
-/// found (assignments in \p ColorOut); otherwise fills \p SpillOut.
-bool tryColor(Function &F, const std::vector<RegId> &Pool,
-              const std::set<RegId> &NoSpill,
-              std::map<RegId, RegId> &ColorOut,
-              std::vector<RegId> &SpillOut) {
-  CFG Cfg(F);
-  Liveness LV(Cfg);
-  InterferenceGraph IG(F, LV);
-  std::map<RegId, double> Cost = spillCosts(F, Cfg);
+//===----------------------------------------------------------------------===//
+// Preset names
+//===----------------------------------------------------------------------===//
 
-  std::set<RegId> PoolSet(Pool.begin(), Pool.end());
-  std::vector<RegId> Nodes = collectVirtualRegs(F);
-  unsigned K = static_cast<unsigned>(Pool.size());
-
-  // Current degree counting both virtual neighbours and allocatable
-  // physical neighbours (precolored).
-  std::map<RegId, unsigned> Degree;
-  std::set<RegId> Remaining(Nodes.begin(), Nodes.end());
-  for (RegId V : Nodes) {
-    unsigned D = 0;
-    for (RegId N : IG.neighbors(V))
-      if (Remaining.count(N) || PoolSet.count(N))
-        ++D;
-    Degree[V] = D;
+const char *lao::allocatorName(AllocatorKind K) {
+  switch (K) {
+  case AllocatorKind::ChaitinBriggs:
+    return "chaitin-briggs";
+  case AllocatorKind::Chordal:
+    return "chordal";
   }
-
-  // Simplify with optimistic (Briggs) spill candidates.
-  std::vector<std::pair<RegId, bool>> Stack; // (node, isSpillCandidate)
-  while (!Remaining.empty()) {
-    RegId Pick = InvalidReg;
-    for (RegId V : Remaining)
-      if (Degree[V] < K && (Pick == InvalidReg ||
-                            Degree[V] > Degree[Pick])) // Heuristic: push
-        Pick = V; // high-degree-but-colorable first, color it late.
-    bool Candidate = false;
-    if (Pick == InvalidReg) {
-      // All remaining are high degree: choose the cheapest to spill,
-      // push optimistically.
-      double Best = 0;
-      for (RegId V : Remaining) {
-        if (NoSpill.count(V))
-          continue;
-        double Ratio = Cost[V] / (1.0 + Degree[V]);
-        if (Pick == InvalidReg || Ratio < Best) {
-          Pick = V;
-          Best = Ratio;
-        }
-      }
-      if (Pick == InvalidReg)
-        Pick = *Remaining.begin(); // Only no-spill temps left: force one.
-      Candidate = true;
-    }
-    Stack.push_back({Pick, Candidate});
-    Remaining.erase(Pick);
-    for (RegId N : IG.neighbors(Pick)) {
-      auto It = Degree.find(N);
-      if (It != Degree.end() && It->second > 0)
-        --It->second;
-    }
-  }
-
-  // Select.
-  ColorOut.clear();
-  SpillOut.clear();
-  while (!Stack.empty()) {
-    auto [V, WasCandidate] = Stack.back();
-    Stack.pop_back();
-    std::set<RegId> Forbidden;
-    for (RegId N : IG.neighbors(V)) {
-      if (PoolSet.count(N))
-        Forbidden.insert(N);
-      auto It = ColorOut.find(N);
-      if (It != ColorOut.end())
-        Forbidden.insert(It->second);
-    }
-    RegId Color = InvalidReg;
-    for (RegId R : Pool)
-      if (!Forbidden.count(R)) {
-        Color = R;
-        break;
-      }
-    if (Color == InvalidReg) {
-      (void)WasCandidate;
-      SpillOut.push_back(V);
-      continue;
-    }
-    ColorOut[V] = Color;
-  }
-  return SpillOut.empty();
+  return "unknown";
 }
 
-/// Rewrites \p F to keep each register of \p Spilled in a stack slot:
-/// loads before uses, stores after defs, through fresh short-lived
-/// temporaries. Slot addresses are absolute (a dedicated region far from
-/// both the heap the workloads use and the SP frame): the mini-LAI SP is
-/// a *moving* dedicated register (spadjust chains), so SP-relative slots
-/// would alias differently before and after frame adjustments.
-void insertSpillCode(Function &F, const std::vector<RegId> &Spilled,
-                     std::map<RegId, int64_t> &SlotOf, unsigned &NextSlot,
-                     std::set<RegId> &NoSpill, RegAllocResult &Result) {
-  std::set<RegId> SpillSet(Spilled.begin(), Spilled.end());
-  for (RegId V : Spilled)
-    if (!SlotOf.count(V)) {
-      SlotOf[V] = 0x80000 + 8 * static_cast<int64_t>(NextSlot++);
-      ++Result.NumSpilled;
-    }
-
-  auto AddrOf = [&](RegId V, BasicBlock::InstList &List,
-                    BasicBlock::InstList::iterator Pos) {
-    RegId Addr = F.makeVirtual("sl.addr");
-    NoSpill.insert(Addr);
-    Instruction Lea(Opcode::Make);
-    Lea.addDef(Addr);
-    Lea.setImm(SlotOf[V]);
-    List.insert(Pos, std::move(Lea));
-    return Addr;
-  };
-
-  for (const auto &BB : F.blocks()) {
-    auto &List = BB->instructions();
-    for (auto It = List.begin(); It != List.end(); ++It) {
-      Instruction &I = *It;
-      // Loads before uses: one reload temp per instruction per value.
-      std::map<RegId, RegId> ReloadedAs;
-      for (unsigned K = 0; K < I.numUses(); ++K) {
-        RegId V = I.use(K);
-        if (!SpillSet.count(V))
-          continue;
-        auto Found = ReloadedAs.find(V);
-        if (Found == ReloadedAs.end()) {
-          // The reload register doubles as the address register
-          // (tmp = make slot; tmp = load tmp) to halve the register
-          // pressure of spill code.
-          RegId Tmp = F.makeVirtual(F.valueName(V) + ".ld");
-          NoSpill.insert(Tmp);
-          Instruction Lea(Opcode::Make);
-          Lea.addDef(Tmp);
-          Lea.setImm(SlotOf[V]);
-          List.insert(It, std::move(Lea));
-          Instruction Ld(Opcode::Load);
-          Ld.addDef(Tmp);
-          Ld.addUse(Tmp);
-          List.insert(It, std::move(Ld));
-          ++Result.NumSpillLoads;
-          Found = ReloadedAs.emplace(V, Tmp).first;
-        }
-        I.setUse(K, Found->second);
-      }
-      // Stores after defs.
-      for (unsigned K = 0; K < I.numDefs(); ++K) {
-        RegId V = I.def(K);
-        if (!SpillSet.count(V))
-          continue;
-        RegId Tmp = F.makeVirtual(F.valueName(V) + ".st");
-        NoSpill.insert(Tmp);
-        I.setDef(K, Tmp);
-        auto After = std::next(It);
-        RegId Addr = AddrOf(V, List, After);
-        Instruction St(Opcode::Store);
-        St.addUse(Addr);
-        St.addUse(Tmp);
-        List.insert(After, std::move(St));
-        ++Result.NumSpillStores;
-        // Skip over the inserted address+store so they are not
-        // re-processed as spill sites.
-        ++It;
-        ++It;
-      }
-    }
+const char *lao::spillModelName(SpillModelKind K) {
+  switch (K) {
+  case SpillModelKind::SpillEverywhere:
+    return "spill-everywhere";
+  case SpillModelKind::LoadStoreOpt:
+    return "load-store-opt";
   }
+  return "unknown";
 }
 
-} // namespace
+std::optional<RegAllocOptions>
+lao::regAllocPresetOpt(const std::string &Name) {
+  RegAllocOptions Opts;
+  std::string Alloc = Name, Spill;
+  size_t Slash = Name.find('/');
+  if (Slash != std::string::npos) {
+    Alloc = Name.substr(0, Slash);
+    Spill = Name.substr(Slash + 1);
+  }
+  if (Alloc == "chaitin-briggs")
+    Opts.Allocator = AllocatorKind::ChaitinBriggs;
+  else if (Alloc == "chordal")
+    Opts.Allocator = AllocatorKind::Chordal;
+  else
+    return std::nullopt;
+  if (!Spill.empty() || Slash != std::string::npos) {
+    if (Spill == "spill-everywhere")
+      Opts.SpillMode = SpillModelKind::SpillEverywhere;
+    else if (Spill == "load-store-opt")
+      Opts.SpillMode = SpillModelKind::LoadStoreOpt;
+    else
+      return std::nullopt;
+  }
+  return Opts;
+}
+
+RegAllocOptions lao::regAllocPreset(const std::string &Name) {
+  if (std::optional<RegAllocOptions> O = regAllocPresetOpt(Name))
+    return *O;
+  // Same fatal discipline as pipelinePreset: an assert compiles out of
+  // NDEBUG builds and a silently-default allocator corrupts every
+  // downstream measurement.
+  std::fprintf(stderr,
+               "lao: fatal: unknown regalloc preset '%s' "
+               "(want <allocator>[/<spill-model>], see regalloc/RegAlloc.h)\n",
+               Name.c_str());
+  std::abort();
+}
+
+std::unique_ptr<AllocatorStrategy> lao::makeAllocatorStrategy(AllocatorKind K) {
+  switch (K) {
+  case AllocatorKind::ChaitinBriggs:
+    return makeChaitinBriggsStrategy();
+  case AllocatorKind::Chordal:
+    return makeChordalStrategy();
+  }
+  return makeChaitinBriggsStrategy();
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
 
 RegAllocResult lao::allocateRegisters(Function &F,
                                       const RegAllocOptions &Opts) {
   RegAllocResult Result;
+  ++LAO_STAT(regalloc, runs);
   if (Opts.NumRegs < 2) {
     Result.Error = "need at least two allocatable registers";
+    ++LAO_STAT(regalloc, failures);
     return Result;
   }
   std::vector<RegId> Pool = allocatablePool(Opts.NumRegs);
+  std::unique_ptr<AllocatorStrategy> Strategy =
+      makeAllocatorStrategy(Opts.Allocator);
+  std::unique_ptr<SpillModel> Model = makeSpillModel(Opts.SpillMode);
   std::set<RegId> NoSpill;
-  std::map<RegId, int64_t> SlotOf;
-  unsigned NextSlot = 0;
 
   unsigned MaxRounds = std::max(Opts.MaxRounds, 1u);
   for (unsigned Round = 0; Round < MaxRounds; ++Round) {
     ++Result.NumRounds;
+    ++LAO_STAT(regalloc, rounds);
     std::map<RegId, RegId> Color;
     std::vector<RegId> Spills;
-    if (tryColor(F, Pool, NoSpill, Color, Spills)) {
+    if (Strategy->tryColor(F, Pool, NoSpill, Color, Spills)) {
       // Rewrite operands to their colors.
       std::set<RegId> Used;
       for (const auto &BB : F.blocks())
@@ -276,8 +185,10 @@ RegAllocResult lao::allocateRegisters(Function &F,
             }
         }
       Result.NumRegsUsed = static_cast<unsigned>(Used.size());
-      Result.FrameBytes = 8 * NextSlot;
+      Result.FrameBytes = 8 * Model->frameSlots();
       Result.Ok = true;
+      LAO_STAT(regalloc, spill_loads) += Result.NumSpillLoads;
+      LAO_STAT(regalloc, spill_stores) += Result.NumSpillStores;
       return Result;
     }
     // Spill and retry. A spilled no-spill temp means the pool is too
@@ -287,12 +198,14 @@ RegAllocResult lao::allocateRegisters(Function &F,
         Result.Error = formatStr(
             "cannot allocate: instruction needs more than %zu registers",
             Pool.size());
+        ++LAO_STAT(regalloc, failures);
         return Result;
       }
-    insertSpillCode(F, Spills, SlotOf, NextSlot, NoSpill, Result);
+    Model->insertSpillCode(F, Spills, NoSpill, Result);
   }
   Result.Error = formatStr(
       "register allocation did not converge after %u spill rounds",
       MaxRounds);
+  ++LAO_STAT(regalloc, failures);
   return Result;
 }

@@ -1,30 +1,44 @@
-//===- RegAlloc.h - Chaitin-Briggs register allocation ----------*- C++ -*-===//
+//===- RegAlloc.h - Register allocation strategy tier -----------*- C++ -*-===//
 //
 // Part of the lao project (CGO 2004 out-of-SSA reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A Chaitin-Briggs graph-coloring register allocator for the non-SSA
-/// machine code produced by the out-of-SSA pipelines. This implements the
-/// paper's *downstream consumer*: its [LIM4] remark observes that under
-/// register pressure, coalescing decisions change the colorability of the
-/// interference graph — this allocator makes that effect measurable
-/// (bench_regpressure).
+/// Register allocation for the non-SSA machine code produced by the
+/// out-of-SSA pipelines. This implements the paper's *downstream
+/// consumer*: its [LIM4] remark observes that under register pressure,
+/// coalescing decisions change the colorability of the interference
+/// graph — the allocators make that effect measurable (bench_regpressure).
 ///
-/// Design:
-///  * allocatable classes: general-purpose registers R0..R7 for all
-///    virtuals except SP (dedicated, never allocated); P0..P3 join the
-///    pool as general registers (the mini-LAI ISA does not restrict
-///    pointer operands);
-///  * physical operands are precolored nodes;
-///  * Briggs-style optimistic simplify/select; potential spill choice by
-///    lowest (use count weighted by 5^depth) / degree;
-///  * spilling rewrites the function with a store after each definition
-///    and a load before each use, through frame slots addressed relative
-///    to SP, then the allocator retries (spill temps have tiny ranges);
-///  * the result is verified structurally (no virtual registers remain)
-///    and behaviourally (the interpreter oracle, in tests).
+/// The tier is two orthogonal axes, selected through RegAllocOptions:
+///
+///  * **Allocator** (AllocatorStrategy.h) — how a round colors the
+///    interference graph:
+///      - `chaitin-briggs`: Briggs-style optimistic simplify/select;
+///        potential spill choice by lowest (occurrences weighted
+///        5^loopdepth) / degree;
+///      - `chordal`: SSA-flavoured greedy coloring in a maximum
+///        cardinality search (MCS) order seeded by dominance
+///        (DominatorTree::preorderBlocks), with biased coloring that
+///        prefers the colors of residual move partners — the affinities
+///        the coalescer could not merge.
+///  * **Spill model** (SpillModel.h) — how a failed round rewrites the
+///    function:
+///      - `spill-everywhere`: a store after each definition, a load
+///        before each use;
+///      - `load-store-opt`: per-block load reuse (a reload or the def's
+///        store temp forwards to later uses), redundant-store
+///        elimination, and dropping stores of values never reloaded.
+///
+/// Shared by every combination: allocatable classes are the
+/// general-purpose registers R0..R7 for all virtuals except SP
+/// (dedicated, never allocated); P0..P3 join the pool as general
+/// registers (the mini-LAI ISA does not restrict pointer operands);
+/// physical operands are precolored nodes; spill slots are absolute
+/// addresses assigned deterministically (ascending RegId per round);
+/// the result is verified structurally (no virtual registers remain)
+/// and behaviourally (the interpreter oracle, in tests).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,9 +47,26 @@
 
 #include "ir/Function.h"
 
+#include <optional>
+
 namespace lao {
 
+/// Which coloring strategy a round uses (see file comment).
+enum class AllocatorKind {
+  ChaitinBriggs,
+  Chordal,
+};
+
+/// How spill decisions are materialized as loads/stores (see file
+/// comment).
+enum class SpillModelKind {
+  SpillEverywhere,
+  LoadStoreOpt,
+};
+
 struct RegAllocOptions {
+  AllocatorKind Allocator = AllocatorKind::ChaitinBriggs;
+  SpillModelKind SpillMode = SpillModelKind::SpillEverywhere;
   /// Number of general-purpose registers available (taken from
   /// R0..R7, P0..P3 in that order). Lowering this creates the "strong
   /// register pressure" regime of the paper's [LIM4].
@@ -50,6 +81,25 @@ struct RegAllocOptions {
   unsigned MaxRounds = 32;
 };
 
+/// Wire/CLI name of \p K ("chaitin-briggs", "chordal").
+const char *allocatorName(AllocatorKind K);
+
+/// Wire/CLI name of \p K ("spill-everywhere", "load-store-opt").
+const char *spillModelName(SpillModelKind K);
+
+/// Parses an allocator preset "<allocator>[/<spill-model>]" — e.g.
+/// "chordal", "chaitin-briggs/load-store-opt" — into options carrying
+/// the default NumRegs/MaxRounds. Returns std::nullopt for an unknown
+/// name; use this from anything that parses user input (mirrors
+/// pipelinePresetOpt).
+std::optional<RegAllocOptions> regAllocPresetOpt(const std::string &Name);
+
+/// Same, but unknown names are a fatal error in every build type
+/// (message to stderr, then abort) — callers pass compile-time
+/// constants; user-facing code goes through regAllocPresetOpt
+/// (mirrors pipelinePreset).
+RegAllocOptions regAllocPreset(const std::string &Name);
+
 struct RegAllocResult {
   bool Ok = false;           ///< False if allocation failed (see Error).
   std::string Error;
@@ -58,17 +108,18 @@ struct RegAllocResult {
   unsigned NumSpillLoads = 0;
   unsigned NumSpillStores = 0;
   unsigned NumRegsUsed = 0;  ///< Distinct physical registers assigned.
-  unsigned FrameBytes = 0;   ///< Spill frame size.
+  unsigned FrameBytes = 0;   ///< Spill frame size (8 bytes per slot).
 };
 
 /// Allocates every virtual register of non-SSA \p F (no phis, no
 /// parallel copies) to a physical register, inserting spill code as
-/// needed. Mutates F; afterwards all operands are physical.
+/// needed. Mutates F; afterwards all operands are physical. A thin
+/// driver over the AllocatorStrategy / SpillModel selected by \p Opts.
 RegAllocResult allocateRegisters(Function &F,
                                  const RegAllocOptions &Opts = {});
 
 /// Returns the virtual registers still referenced by \p F (empty after
-/// a successful allocation).
+/// a successful allocation), in ascending RegId order.
 std::vector<RegId> collectVirtualRegs(const Function &F);
 
 } // namespace lao

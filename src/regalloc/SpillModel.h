@@ -1,0 +1,86 @@
+//===- SpillModel.h - Pluggable spill code insertion ------------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The spill-model seam of the allocator tier: given the virtuals a
+/// coloring round decided to spill, rewrite the function so their live
+/// ranges shatter into tiny temp ranges around memory accesses. Two
+/// models, selected by RegAllocOptions::SpillMode (see
+/// docs/REGALLOC.md):
+///
+///  * SpillEverywhere — a store after every definition and a load
+///    before every use (one reload temp per instruction per value).
+///    This is the classic model the Bouchez–Darte–Rastello complexity
+///    results are phrased against, and the repo's historical behaviour.
+///  * LoadStoreOpt — the same skeleton, plus three in-block
+///    optimizations that only ever remove accesses: a use after a
+///    reload (or after the def whose store temp still holds the value)
+///    forwards to that temp instead of reloading; a store made
+///    redundant by a later same-block store with no possible
+///    intervening read is deleted; and when a round reloads a spilled
+///    value nowhere at all, its stores are dead and dropped.
+///
+/// A model instance is stateful across the driver's rounds: it owns
+/// the value→slot map and the slot high-water mark, so re-spilling the
+/// same value in a later round reuses its slot. Slots are assigned to
+/// *new* spill values in ascending RegId order — deterministic no
+/// matter which container the strategy collected them in (the
+/// FrameBytes accounting contract, regression-tested).
+///
+/// Spill temps and NoSpill: every temp a model creates with exactly one
+/// use is registered in the driver's NoSpill set (spilling it could
+/// recurse forever — its live range is already minimal). LoadStoreOpt's
+/// *forwarded* temps (a reload serving several uses) stay spillable:
+/// their ranges are real again, and if a later round spills one, its
+/// replacement temps are single-use and NoSpill, so the process
+/// terminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_REGALLOC_SPILLMODEL_H
+#define LAO_REGALLOC_SPILLMODEL_H
+
+#include "regalloc/RegAlloc.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace lao {
+
+class SpillModel {
+public:
+  virtual ~SpillModel() = default;
+
+  /// Rewrites \p F so every register in \p Spilled lives in its stack
+  /// slot: the model inserts loads/stores through fresh temporaries,
+  /// updates \p Result's spill counters, and adds the single-use temps
+  /// to \p NoSpill.
+  virtual void insertSpillCode(Function &F, const std::vector<RegId> &Spilled,
+                               std::set<RegId> &NoSpill,
+                               RegAllocResult &Result) = 0;
+
+  /// Frame slots assigned so far (8 bytes each).
+  unsigned frameSlots() const { return NextSlot; }
+
+protected:
+  /// Assigns slots to the not-yet-slotted members of \p Spilled in
+  /// ascending RegId order, bumping Result.NumSpilled per new value.
+  void assignSlots(const std::vector<RegId> &Spilled, RegAllocResult &Result);
+
+  /// Value -> absolute slot address (a dedicated region far from both
+  /// the heap the workloads use and the SP frame: the mini-LAI SP is a
+  /// *moving* dedicated register, so SP-relative slots would alias
+  /// differently before and after spadjust chains).
+  std::map<RegId, int64_t> SlotOf;
+  unsigned NextSlot = 0;
+};
+
+std::unique_ptr<SpillModel> makeSpillModel(SpillModelKind K);
+
+} // namespace lao
+
+#endif // LAO_REGALLOC_SPILLMODEL_H

@@ -99,6 +99,7 @@ bool splitBody(const std::string &Body, std::string &Headers,
 /// \p ErrorOut set on the first bad line — a body-level error.
 bool parseOptions(const std::string &Headers, std::string &Pipeline,
                   bool &BuildSSA, uint64_t &DeadlineMs, uint64_t &SleepMs,
+                  std::string &RegAlloc, uint64_t &RegAllocRegs,
                   uint64_t *CountOut, bool *SawCount, std::string &ErrorOut) {
   for (const std::string &Line : splitString(Headers, '\n')) {
     size_t Colon = Line.find(':');
@@ -110,10 +111,14 @@ bool parseOptions(const std::string &Headers, std::string &Pipeline,
     std::string Value = trimString(Line.substr(Colon + 1));
     if (Key == "pipeline") {
       Pipeline = Value;
+    } else if (Key == "regalloc") {
+      // Preset validity is a semantic (server-side) concern, like
+      // pipeline's: parsing only records the string.
+      RegAlloc = Value;
     } else if (Key == "ssa") {
       BuildSSA = Value == "1" || Value == "true";
     } else if (Key == "deadline_ms" || Key == "sleep_ms" ||
-               (CountOut && Key == "count")) {
+               Key == "regalloc_regs" || (CountOut && Key == "count")) {
       uint64_t V = 0;
       if (!parseU64(Value, V)) {
         ErrorOut = formatStr("option %s wants a number, got '%s'",
@@ -124,6 +129,8 @@ bool parseOptions(const std::string &Headers, std::string &Pipeline,
         DeadlineMs = V;
       else if (Key == "sleep_ms")
         SleepMs = V;
+      else if (Key == "regalloc_regs")
+        RegAllocRegs = V;
       else {
         *CountOut = V;
         *SawCount = true;
@@ -174,7 +181,8 @@ bool parseItems(const std::string &Payload, std::vector<std::string> &Items,
 
 /// Renders the shared option block of a request frame body.
 std::string encodeOptions(const std::string &Pipeline, bool BuildSSA,
-                          uint64_t DeadlineMs, uint64_t SleepMs) {
+                          uint64_t DeadlineMs, uint64_t SleepMs,
+                          const std::string &RegAlloc, uint64_t RegAllocRegs) {
   std::string Body;
   Body += "pipeline: " + Pipeline + "\n";
   if (BuildSSA)
@@ -185,6 +193,11 @@ std::string encodeOptions(const std::string &Pipeline, bool BuildSSA,
   if (SleepMs)
     Body += formatStr("sleep_ms: %llu\n",
                       static_cast<unsigned long long>(SleepMs));
+  if (!RegAlloc.empty())
+    Body += "regalloc: " + RegAlloc + "\n";
+  if (RegAllocRegs)
+    Body += formatStr("regalloc_regs: %llu\n",
+                      static_cast<unsigned long long>(RegAllocRegs));
   return Body;
 }
 
@@ -240,8 +253,8 @@ bool parseResponseBody(const std::string &Body, Response &Out,
 } // namespace
 
 std::string lao::encodeRequest(const Request &R) {
-  std::string Body =
-      encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs, R.SleepMs);
+  std::string Body = encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs,
+                                   R.SleepMs, R.RegAlloc, R.RegAllocRegs);
   Body += "\n";
   Body += R.Text;
   return frame("REQ", R.Id, Body);
@@ -252,8 +265,8 @@ std::string lao::encodeResponse(const Response &R) {
 }
 
 std::string lao::encodeBatchRequest(const BatchRequest &R) {
-  std::string Body =
-      encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs, R.SleepMs);
+  std::string Body = encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs,
+                                   R.SleepMs, R.RegAlloc, R.RegAllocRegs);
   Body += formatStr("count: %zu\n", R.Texts.size());
   Body += "\n";
   for (const std::string &Text : R.Texts) {
@@ -299,7 +312,8 @@ FrameStatus lao::readRequest(std::istream &In, const FrameLimits &Limits,
   }
   Out.Text = std::move(Payload);
   parseOptions(Headers, Out.Pipeline, Out.BuildSSA, Out.DeadlineMs,
-               Out.SleepMs, nullptr, nullptr, ErrorOut);
+               Out.SleepMs, Out.RegAlloc, Out.RegAllocRegs, nullptr, nullptr,
+               ErrorOut);
   return FrameStatus::Ok;
 }
 
@@ -332,14 +346,15 @@ FrameStatus lao::readRequestFrame(std::istream &In, const FrameLimits &Limits,
   if (KindOut == FrameKind::Single) {
     ReqOut.Text = std::move(Payload);
     parseOptions(Headers, ReqOut.Pipeline, ReqOut.BuildSSA, ReqOut.DeadlineMs,
-                 ReqOut.SleepMs, nullptr, nullptr, ErrorOut);
+                 ReqOut.SleepMs, ReqOut.RegAlloc, ReqOut.RegAllocRegs, nullptr,
+                 nullptr, ErrorOut);
     return FrameStatus::Ok;
   }
   uint64_t Count = 0;
   bool SawCount = false;
   if (!parseOptions(Headers, BatchOut.Pipeline, BatchOut.BuildSSA,
-                    BatchOut.DeadlineMs, BatchOut.SleepMs, &Count, &SawCount,
-                    ErrorOut))
+                    BatchOut.DeadlineMs, BatchOut.SleepMs, BatchOut.RegAlloc,
+                    BatchOut.RegAllocRegs, &Count, &SawCount, ErrorOut))
     return FrameStatus::Ok;
   if (!SawCount) {
     ErrorOut = "batch body is missing the required count option";

@@ -28,8 +28,12 @@
 /// normalizeToOptimizedSSA first; 0/1), deadline_ms (cooperative
 /// deadline from frame arrival; 0 = none), sleep_ms (diagnostic: the
 /// worker idles this long before compiling, in deadline-checked slices —
-/// used by the timeout tests and load drills). Unknown keys are a
-/// per-request error, not a protocol error.
+/// used by the timeout tests and load drills), regalloc (an allocator
+/// preset "<allocator>[/<spill-model>]", see regalloc/RegAlloc.h; runs
+/// register allocation after the pipeline), regalloc_regs (overrides
+/// the allocator's register-pool size; 0 = preset default; only
+/// meaningful with regalloc). Unknown keys are a per-request error, not
+/// a protocol error.
 ///
 /// A response body is a one-line JSON stats/error record, a blank line,
 /// then the transformed function text (empty when the request failed).
@@ -82,6 +86,9 @@ struct Request {
   bool BuildSSA = false;
   uint64_t DeadlineMs = 0; ///< 0 = none (the server default may apply).
   uint64_t SleepMs = 0;    ///< Diagnostic pre-compile idle (see above).
+  std::string RegAlloc;    ///< Allocator preset; empty = server default
+                           ///< (which is usually "no allocation").
+  uint64_t RegAllocRegs = 0; ///< Pool-size override; 0 = preset default.
   std::string Text;        ///< The mini-LAI function.
 };
 
@@ -100,6 +107,8 @@ struct BatchRequest {
   bool BuildSSA = false;
   uint64_t DeadlineMs = 0; ///< Shared by every item, from frame arrival.
   uint64_t SleepMs = 0;
+  std::string RegAlloc;    ///< Shared allocator preset (see Request).
+  uint64_t RegAllocRegs = 0;
   std::vector<std::string> Texts; ///< The mini-LAI functions, in order.
 };
 

@@ -64,6 +64,14 @@ std::string lao::requestRecordJson(const RequestRecord &Rec) {
   W.key("moves").value(Rec.Moves);
   W.key("weighted_moves").value(Rec.WeightedMoves);
   W.key("seconds").value(Rec.Seconds);
+  if (Rec.HasRegAlloc) {
+    W.key("allocator").value(Rec.Allocator);
+    W.key("spill_mode").value(Rec.SpillMode);
+    W.key("spills").value(Rec.Spills);
+    W.key("spill_accesses").value(Rec.SpillAccesses);
+    W.key("regs_used").value(Rec.RegsUsed);
+    W.key("frame_bytes").value(Rec.FrameBytes);
+  }
   W.key("counters").beginObject();
   for (const auto &[Key, Value] : Rec.Counters)
     W.key(Key).value(Value);
@@ -183,6 +191,20 @@ RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
                                     Req.Pipeline.c_str()));
   }
   Config->CancelCheck = Expired;
+  const std::string &RegAllocName =
+      Req.RegAlloc.empty() ? Opts.DefaultRegAlloc : Req.RegAlloc;
+  if (!RegAllocName.empty()) {
+    std::optional<RegAllocOptions> RA = regAllocPresetOpt(RegAllocName);
+    if (!RA) {
+      ++LAO_STAT(server, preset_errors);
+      return Finish(), Fail(RequestOutcome::UnknownPreset,
+                            formatStr("unknown regalloc preset '%s'",
+                                      RegAllocName.c_str()));
+    }
+    if (Req.RegAllocRegs)
+      RA->NumRegs = static_cast<unsigned>(Req.RegAllocRegs);
+    Config->RegAlloc = *RA;
+  }
 
   // Swap the request's function into the worker context: the reused
   // manager is rebound to it inside runPipeline, and the previous
@@ -206,6 +228,20 @@ RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
     }
     Rec.Moves = R.NumMoves;
     Rec.WeightedMoves = R.WeightedMoves;
+    if (R.RegAlloc) {
+      if (!R.RegAlloc->Ok) {
+        ++LAO_STAT(server, pipeline_errors);
+        return Finish(), Fail(RequestOutcome::PipelineError,
+                              "regalloc error: " + R.RegAlloc->Error);
+      }
+      Rec.HasRegAlloc = true;
+      Rec.Allocator = allocatorName(Config->RegAlloc->Allocator);
+      Rec.SpillMode = spillModelName(Config->RegAlloc->SpillMode);
+      Rec.Spills = R.RegAlloc->NumSpilled;
+      Rec.SpillAccesses = R.RegAlloc->NumSpillLoads + R.RegAlloc->NumSpillStores;
+      Rec.RegsUsed = R.RegAlloc->NumRegsUsed;
+      Rec.FrameBytes = R.RegAlloc->FrameBytes;
+    }
     Rec.IR = printFunction(*Ctx.F);
   } catch (const std::exception &E) {
     ++LAO_STAT(server, pipeline_errors);
@@ -393,6 +429,8 @@ void Server::dispatchBatch(Connection &C, BatchRequest Bat,
       R.BuildSSA = St->Req.BuildSSA;
       R.DeadlineMs = St->Req.DeadlineMs;
       R.SleepMs = St->Req.SleepMs;
+      R.RegAlloc = St->Req.RegAlloc;
+      R.RegAllocRegs = St->Req.RegAllocRegs;
       R.Text = std::move(St->Req.Texts[K]); // Each item read exactly once.
       RequestRecord Rec;
       try {

@@ -81,6 +81,10 @@ struct ServerOptions {
   /// records(). Tests and the exit report use this; a production serve
   /// loop leaves it off and only aggregates.
   bool CollectRecords = false;
+  /// Allocator preset applied to requests that carry no "regalloc" key;
+  /// empty = requests without the key skip register allocation
+  /// (lao-server --default-regalloc; validated at startup).
+  std::string DefaultRegAlloc;
 };
 
 /// How one request ended. Mirrored textually in the record's "outcome".
@@ -110,6 +114,17 @@ struct RequestRecord {
   unsigned Moves = 0;      ///< PipelineResult::NumMoves.
   uint64_t WeightedMoves = 0;
   double Seconds = 0;      ///< Wall time inside the worker.
+  /// Register-allocation outcome, when the request asked for it. The
+  /// record then carries allocator/spill_mode/spills/spill_accesses/
+  /// regs_used/frame_bytes keys; a failed allocation is reported as a
+  /// PipelineError outcome with the allocator's message.
+  bool HasRegAlloc = false;
+  std::string Allocator;   ///< allocatorName() of the applied preset.
+  std::string SpillMode;   ///< spillModelName() of the applied preset.
+  unsigned Spills = 0;         ///< RegAllocResult::NumSpilled.
+  unsigned SpillAccesses = 0;  ///< NumSpillLoads + NumSpillStores.
+  unsigned RegsUsed = 0;       ///< RegAllocResult::NumRegsUsed.
+  unsigned FrameBytes = 0;     ///< RegAllocResult::FrameBytes.
   StatsSnapshot Counters;  ///< Exact per-request deltas (StatsScope);
                            ///< empty on the lean batch-item path.
   std::string IR;          ///< Transformed function; empty on error.

@@ -17,6 +17,7 @@
 
 #include "analysis/AnalysisManager.h"
 #include "outofssa/Pipeline.h"
+#include "regalloc/RegAlloc.h"
 #include "server/FdStream.h"
 #include "server/Server.h"
 #include "server/SocketTransport.h"
@@ -192,6 +193,52 @@ TEST(ServerProtocol, OversizedBodyIsSkippedWithIdIntact) {
   EXPECT_EQ(R.Text, "t");
 }
 
+TEST(ServerProtocol, RegAllocOptionsRoundTrip) {
+  Request R;
+  R.Id = 11;
+  R.RegAlloc = "chordal/load-store-opt";
+  R.RegAllocRegs = 8;
+  R.Text = "func @f {\nentry:\n  input %a\n  ret %a\n}\n";
+  std::istringstream In(encodeRequest(R));
+  Request Back;
+  std::string Error;
+  ASSERT_EQ(readRequest(In, FrameLimits(), Back, Error), FrameStatus::Ok);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Back.RegAlloc, R.RegAlloc);
+  EXPECT_EQ(Back.RegAllocRegs, 8u);
+  // A request without the keys decodes to the "no allocation" defaults
+  // (the encoder omits empty/zero regalloc options entirely).
+  Request Plain;
+  Plain.Id = 12;
+  Plain.Text = R.Text;
+  std::string Encoded = encodeRequest(Plain);
+  EXPECT_EQ(Encoded.find("regalloc"), std::string::npos) << Encoded;
+  std::istringstream In2(Encoded);
+  ASSERT_EQ(readRequest(In2, FrameLimits(), Back, Error), FrameStatus::Ok);
+  EXPECT_TRUE(Back.RegAlloc.empty());
+  EXPECT_EQ(Back.RegAllocRegs, 0u);
+}
+
+TEST(ServerProtocol, BatchRegAllocOptionsRoundTrip) {
+  BatchRequest B;
+  B.Id = 21;
+  B.RegAlloc = "chaitin-briggs";
+  B.RegAllocRegs = 6;
+  B.Texts = {"func @f {\nentry:\n  input %a\n  ret %a\n}\n"};
+  std::istringstream In(encodeBatchRequest(B));
+  FrameKind Kind;
+  Request Single;
+  BatchRequest Back;
+  std::string Error;
+  ASSERT_EQ(readRequestFrame(In, FrameLimits(), Kind, Single, Back, Error),
+            FrameStatus::Ok);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ASSERT_EQ(Kind, FrameKind::Batch);
+  EXPECT_EQ(Back.RegAlloc, B.RegAlloc);
+  EXPECT_EQ(Back.RegAllocRegs, 6u);
+  ASSERT_EQ(Back.Texts.size(), 1u);
+}
+
 //===----------------------------------------------------------------------===//
 // Serving
 //===----------------------------------------------------------------------===//
@@ -207,6 +254,102 @@ TEST(Server, ServedIRMatchesOneShotPipeline) {
   ASSERT_EQ(Responses.size(), 1u);
   EXPECT_TRUE(Responses[0].Ok) << Responses[0].RecordJson;
   EXPECT_EQ(Responses[0].IR, oneShot(SimpleFunc));
+}
+
+TEST(Server, RegAllocRequestAllocatesAndRecords) {
+  Request R;
+  R.Id = 1;
+  R.Text = SimpleFunc;
+  R.RegAlloc = "chordal/load-store-opt";
+  R.RegAllocRegs = 8;
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(R), Responses, &S), 0);
+  ASSERT_EQ(Responses.size(), 1u);
+  EXPECT_TRUE(Responses[0].Ok) << Responses[0].RecordJson;
+
+  // Reference: the same pipeline with the same allocation, in-process.
+  auto F = parseFunction(SimpleFunc);
+  ASSERT_TRUE(F != nullptr);
+  PipelineConfig Config = pipelinePreset("Lphi,ABI+C");
+  Config.RegAlloc = regAllocPreset("chordal/load-store-opt");
+  Config.RegAlloc->NumRegs = 8;
+  runPipeline(*F, Config);
+  EXPECT_EQ(Responses[0].IR, printFunction(*F));
+  EXPECT_TRUE(collectVirtualRegs(*F).empty());
+
+  ASSERT_EQ(S.records().size(), 1u);
+  const RequestRecord &Rec = S.records()[0];
+  EXPECT_TRUE(Rec.HasRegAlloc);
+  EXPECT_EQ(Rec.Allocator, "chordal");
+  EXPECT_EQ(Rec.SpillMode, "load-store-opt");
+  EXPECT_NE(Responses[0].RecordJson.find("\"allocator\":\"chordal\""),
+            std::string::npos)
+      << Responses[0].RecordJson;
+  EXPECT_NE(Responses[0].RecordJson.find("\"spill_mode\":\"load-store-opt\""),
+            std::string::npos)
+      << Responses[0].RecordJson;
+}
+
+TEST(Server, DefaultRegAllocAppliesAndRequestOverrides) {
+  // The daemon-level default engages for requests carrying no regalloc
+  // key; a request naming its own preset wins.
+  Request Defaulted;
+  Defaulted.Id = 1;
+  Defaulted.Text = SimpleFunc;
+  Request Explicit;
+  Explicit.Id = 2;
+  Explicit.Text = SimpleFunc;
+  Explicit.RegAlloc = "chordal";
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Opts.DefaultRegAlloc = "chaitin-briggs";
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(Defaulted) +
+                                  encodeRequest(Explicit),
+                        Responses, &S),
+            0);
+  ASSERT_EQ(Responses.size(), 2u);
+  ASSERT_EQ(S.records().size(), 2u);
+  EXPECT_TRUE(Responses[0].Ok) << Responses[0].RecordJson;
+  EXPECT_TRUE(S.records()[0].HasRegAlloc);
+  EXPECT_EQ(S.records()[0].Allocator, "chaitin-briggs");
+  EXPECT_TRUE(Responses[1].Ok) << Responses[1].RecordJson;
+  EXPECT_EQ(S.records()[1].Allocator, "chordal");
+}
+
+TEST(Server, UnknownRegAllocPresetIsPerRequestError) {
+  Request Bad;
+  Bad.Id = 1;
+  Bad.Text = SimpleFunc;
+  Bad.RegAlloc = "linear-scan";
+  Request Good;
+  Good.Id = 2;
+  Good.Text = SimpleFunc;
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(Bad) + encodeRequest(Good),
+                        Responses, &S),
+            0);
+  ASSERT_EQ(Responses.size(), 2u);
+  EXPECT_FALSE(Responses[0].Ok);
+  ASSERT_EQ(S.records().size(), 2u);
+  EXPECT_EQ(S.records()[0].Outcome, RequestOutcome::UnknownPreset);
+  EXPECT_NE(S.records()[0].Error.find("linear-scan"), std::string::npos)
+      << S.records()[0].Error;
+  // The daemon keeps serving; the follow-up request (no regalloc key,
+  // no daemon default) compiles without allocation.
+  EXPECT_TRUE(Responses[1].Ok) << Responses[1].RecordJson;
+  EXPECT_FALSE(S.records()[1].HasRegAlloc);
+  EXPECT_EQ(Responses[1].IR, oneShot(SimpleFunc));
 }
 
 TEST(Server, ErrorRequestsDegradeGracefully) {

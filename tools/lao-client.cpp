@@ -27,6 +27,12 @@
 //     --pipeline=<name>   preset for every request (default Lphi,ABI+C)
 //     --ssa               ask the server to build optimized SSA first
 //     --deadline-ms=N     per-request deadline
+//     --regalloc=<preset> ask the server to allocate registers after
+//                         the pipeline ("<allocator>[/<spill-model>]",
+//                         see regalloc/RegAlloc.h). Under --selftest
+//                         the in-process reference applies the same
+//                         allocation, so byte-identity still gates.
+//     --regalloc-regs=N   register-pool size for --regalloc
 //     --print-records     print each response's JSON record to stdout
 //     --quiet             don't print the transformed IR
 //     --selftest          ignore file arguments: submit every function
@@ -82,6 +88,8 @@ struct Options {
   std::string Pipeline = "Lphi,ABI+C";
   bool BuildSSA = false;
   uint64_t DeadlineMs = 0;
+  std::string RegAlloc;
+  uint64_t RegAllocRegs = 0;
   bool PrintRecords = false;
   bool Quiet = false;
   bool Selftest = false;
@@ -93,6 +101,7 @@ int usage(const char *Argv0) {
                "usage: %s [--server=\"<cmd>\"] [--connect-unix=PATH | "
                "--connect-tcp=SPEC] [--batch=N] [--max-body-bytes=N] "
                "[--pipeline=<preset>] [--ssa] [--deadline-ms=N] "
+               "[--regalloc=<preset>] [--regalloc-regs=N] "
                "[--print-records] [--quiet] (--selftest | <file.lai>...)\n",
                Argv0);
   return 2;
@@ -227,6 +236,8 @@ bool loadFileJobs(const Options &Opts, std::vector<Job> &Jobs) {
     J.Req.Pipeline = Opts.Pipeline;
     J.Req.BuildSSA = Opts.BuildSSA;
     J.Req.DeadlineMs = Opts.DeadlineMs;
+    J.Req.RegAlloc = Opts.RegAlloc;
+    J.Req.RegAllocRegs = Opts.RegAllocRegs;
     J.Req.Text = SS.str();
     J.Label = Path;
     Jobs.push_back(std::move(J));
@@ -237,12 +248,19 @@ bool loadFileJobs(const Options &Opts, std::vector<Job> &Jobs) {
 void loadSelftestJobs(const Options &Opts, std::vector<Job> &Jobs) {
   uint64_t NextId = 1;
   PipelineConfig Config = pipelinePreset(Opts.Pipeline);
+  if (!Opts.RegAlloc.empty()) {
+    Config.RegAlloc = regAllocPreset(Opts.RegAlloc);
+    if (Opts.RegAllocRegs)
+      Config.RegAlloc->NumRegs = static_cast<unsigned>(Opts.RegAllocRegs);
+  }
   for (const SuiteSpec &Spec : allSuites())
     for (Workload &W : Spec.Make()) {
       Job J;
       J.Req.Id = NextId++;
       J.Req.Pipeline = Opts.Pipeline;
       J.Req.DeadlineMs = Opts.DeadlineMs;
+      J.Req.RegAlloc = Opts.RegAlloc;
+      J.Req.RegAllocRegs = Opts.RegAllocRegs;
       J.Req.Text = printFunction(*W.F);
       J.Label = std::string(Spec.Name) + "/" + W.Name;
       // The reference result: the exact one-shot path lao-opt runs,
@@ -284,6 +302,8 @@ std::vector<Frame> buildFrames(const Options &Opts,
     B.Pipeline = Opts.Pipeline;
     B.BuildSSA = Opts.BuildSSA;
     B.DeadlineMs = Opts.DeadlineMs;
+    B.RegAlloc = Opts.RegAlloc;
+    B.RegAllocRegs = Opts.RegAllocRegs;
     Frame F;
     F.Id = B.Id;
     for (uint64_t N = 0; N < Opts.Batch && K < Jobs.size(); ++N, ++K) {
@@ -322,6 +342,11 @@ int main(int Argc, char **Argv) {
       Opts.DeadlineMs =
           std::strtoull(A.c_str() + std::strlen("--deadline-ms="), nullptr,
                         10);
+    } else if (A.rfind("--regalloc=", 0) == 0) {
+      Opts.RegAlloc = A.substr(std::strlen("--regalloc="));
+    } else if (A.rfind("--regalloc-regs=", 0) == 0) {
+      Opts.RegAllocRegs = std::strtoull(
+          A.c_str() + std::strlen("--regalloc-regs="), nullptr, 10);
     } else if (A == "--print-records") {
       Opts.PrintRecords = true;
     } else if (A == "--quiet") {
@@ -347,6 +372,11 @@ int main(int Argc, char **Argv) {
       !pipelinePresetOpt(Opts.Pipeline)) {
     std::fprintf(stderr, "unknown pipeline preset '%s'\n",
                  Opts.Pipeline.c_str());
+    return 2;
+  }
+  if (!Opts.RegAlloc.empty() && !regAllocPresetOpt(Opts.RegAlloc)) {
+    std::fprintf(stderr, "unknown regalloc preset '%s'\n",
+                 Opts.RegAlloc.c_str());
     return 2;
   }
 

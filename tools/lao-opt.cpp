@@ -14,8 +14,16 @@
 //     --ifconvert         if-convert diamonds to psi (implies --ssa input)
 //     --pipeline=<name>   run an out-of-SSA preset (e.g. Lphi,ABI+C; see
 //                         Pipeline.h; default: none)
-//     --regalloc[=N]      allocate registers afterwards (N registers,
-//                         default 12)
+//     --regalloc[=<preset>]
+//                         allocate registers afterwards. The preset is
+//                         "<allocator>[/<spill-model>]" (see
+//                         regalloc/RegAlloc.h), e.g. chordal or
+//                         chaitin-briggs/load-store-opt; no value means
+//                         the default chaitin-briggs/spill-everywhere.
+//                         An all-digits value is the deprecated
+//                         register-count spelling (--regalloc=N), kept
+//                         as an alias for --regalloc --regalloc-regs=N.
+//     --regalloc-regs=N   size of the allocatable pool (default 12)
 //     --run a,b,...       interpret with the given integer arguments and
 //                         print the trace
 //     --dot               print the CFG as Graphviz instead of text
@@ -69,7 +77,7 @@ struct Options {
   bool IfConvert = false;
   std::string Pipeline;
   bool RegAlloc = false;
-  unsigned NumRegs = 12;
+  RegAllocOptions RegAllocOpts;
   bool Dot = false;
   bool Verify = false;
   bool Stats = false;
@@ -85,9 +93,9 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--ssa] [--ifconvert] [--pipeline=<preset>] "
-      "[--regalloc[=N]] [--run a,b,...] [--verify] [--stats] "
-      "[--interference-stats] [--coalesce-stats] [--timing-json=<file>] "
-      "<file.lai|->\n",
+      "[--regalloc[=<preset>]] [--regalloc-regs=N] [--run a,b,...] "
+      "[--verify] [--stats] [--interference-stats] [--coalesce-stats] "
+      "[--timing-json=<file>] <file.lai|->\n",
       Argv0);
   return 2;
 }
@@ -105,9 +113,30 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       Opts.RegAlloc = true;
     } else if (A.rfind("--regalloc=", 0) == 0) {
       Opts.RegAlloc = true;
-      Opts.NumRegs = static_cast<unsigned>(
-          std::strtoul(A.c_str() + std::strlen("--regalloc="), nullptr,
-                       10));
+      std::string Value = A.substr(std::strlen("--regalloc="));
+      if (!Value.empty() &&
+          Value.find_first_not_of("0123456789") == std::string::npos) {
+        // Deprecated register-count spelling, kept as an alias (same
+        // precedent as lao-server's --max-frame-bytes).
+        Opts.RegAllocOpts.NumRegs = static_cast<unsigned>(
+            std::strtoul(Value.c_str(), nullptr, 10));
+      } else {
+        std::optional<RegAllocOptions> RA = regAllocPresetOpt(Value);
+        if (!RA) {
+          std::fprintf(stderr,
+                       "unknown regalloc preset '%s' (want "
+                       "<allocator>[/<spill-model>], see "
+                       "regalloc/RegAlloc.h)\n",
+                       Value.c_str());
+          return false;
+        }
+        unsigned NumRegs = Opts.RegAllocOpts.NumRegs;
+        Opts.RegAllocOpts = *RA;
+        Opts.RegAllocOpts.NumRegs = NumRegs; // --regalloc-regs may precede.
+      }
+    } else if (A.rfind("--regalloc-regs=", 0) == 0) {
+      Opts.RegAllocOpts.NumRegs = static_cast<unsigned>(std::strtoul(
+          A.c_str() + std::strlen("--regalloc-regs="), nullptr, 10));
     } else if (A.rfind("--run", 0) == 0) {
       Opts.Run = true;
       std::string List =
@@ -291,17 +320,17 @@ int main(int Argc, char **Argv) {
     }
   }
   if (Opts.RegAlloc) {
-    RegAllocOptions RA;
-    RA.NumRegs = Opts.NumRegs;
-    RegAllocResult R = allocateRegisters(*F, RA);
+    RegAllocResult R = allocateRegisters(*F, Opts.RegAllocOpts);
     if (!R.Ok) {
       std::fprintf(stderr, "regalloc failed: %s\n", R.Error.c_str());
       return 1;
     }
     if (Opts.Stats)
       std::fprintf(stderr,
-                   "regalloc: %u regs used, %u spilled (%u loads, "
+                   "regalloc (%s/%s): %u regs used, %u spilled (%u loads, "
                    "%u stores), frame %u bytes\n",
+                   allocatorName(Opts.RegAllocOpts.Allocator),
+                   spillModelName(Opts.RegAllocOpts.SpillMode),
                    R.NumRegsUsed, R.NumSpilled, R.NumSpillLoads,
                    R.NumSpillStores, R.FrameBytes);
   }

@@ -20,6 +20,10 @@
 //     --max-inflight=N        per-connection backpressure window:
 //                             frames dispatched but not yet answered
 //                             (default 64, 0 = unbounded)
+//     --default-regalloc=P    allocator preset applied to requests that
+//                             carry no "regalloc" key, e.g. chordal or
+//                             chaitin-briggs/load-store-opt (default:
+//                             none — such requests skip allocation)
 //     --listen-unix=PATH      serve a Unix-domain socket instead of
 //                             stdin/stdout
 //     --listen-tcp=SPEC       serve TCP ("port" or "host:port"; a bare
@@ -38,6 +42,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "regalloc/RegAlloc.h"
 #include "server/FdStream.h"
 #include "server/Server.h"
 #include "server/SocketTransport.h"
@@ -67,6 +72,7 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers=N] [--max-body-bytes=N] "
                "[--default-deadline-ms=N] [--max-inflight=N] "
+               "[--default-regalloc=<preset>] "
                "[--listen-unix=PATH | --listen-tcp=SPEC] [--stats]\n",
                Argv0);
   return 2;
@@ -98,6 +104,13 @@ int main(int Argc, char **Argv) {
       Opts.DefaultDeadlineMs = V;
     } else if (parseUnsigned(A, "--max-inflight=", V)) {
       Opts.MaxInFlightFrames = static_cast<unsigned>(V);
+    } else if (A.rfind("--default-regalloc=", 0) == 0) {
+      Opts.DefaultRegAlloc = A.substr(std::strlen("--default-regalloc="));
+      if (!regAllocPresetOpt(Opts.DefaultRegAlloc)) {
+        std::fprintf(stderr, "unknown regalloc preset '%s'\n",
+                     Opts.DefaultRegAlloc.c_str());
+        return usage(Argv[0]);
+      }
     } else if (A.rfind("--listen-unix=", 0) == 0) {
       ListenUnix = A.substr(std::strlen("--listen-unix="));
     } else if (A.rfind("--listen-tcp=", 0) == 0) {
