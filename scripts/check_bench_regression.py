@@ -93,6 +93,15 @@ IDENTICAL_FIELDS = (
     "bytes_in",
     "ir_bytes",
     "errors",
+    # Execution-tier measurements (BENCH_exec.json): the bytecode VM and
+    # the interpreter are deterministic, so executed-instruction and
+    # executed-move tallies — and the digest of every run's output
+    # trace — are bit-stable. vm_seconds/interp_seconds/speedup are
+    # wall-clock and never gated.
+    "runs",
+    "dyn_instrs",
+    "dyn_moves",
+    "outputs",
 )
 
 # Sublinearity margin: the probes/pair_cost ratio of the largest scale_n*

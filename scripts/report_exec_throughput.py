@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Execution-tier summary from BENCH_exec.json, as GitHub markdown.
+
+Two tables, both read straight from the bench's committed/fresh JSON
+(no re-execution here):
+
+  * dynamic move cost — executed instructions and executed moves per
+    named suite, coalescing on (Lphi,ABI+C) vs off (Lphi,ABI), with the
+    executed-move savings the SSA-level coalescer buys at runtime. These
+    fields are deterministic and separately gated by
+    check_bench_regression.py; this table just renders them.
+  * VM throughput — bytecode-VM vs tree-walk-interpreter wall-clock on
+    the scale_n* sweep records, with the speedup ratio. Wall-clock is
+    machine-dependent and never gates (exit 0 unless the file is
+    unreadable); CI appends the output to the step summary.
+
+Usage: report_exec_throughput.py <BENCH_exec.json>
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            doc = json.load(f)
+        records = doc["records"]
+    except (OSError, json.JSONDecodeError, KeyError) as err:
+        sys.stderr.write("cannot read %s: %s\n" % (argv[1], err))
+        return 1
+
+    by_key = {(r.get("suite"), r.get("config")): r for r in records}
+    named = sorted({s for s, _ in by_key if s and not s.startswith("scale_n")})
+    scale = sorted(
+        ((int(s[len("scale_n"):]), s, c) for s, c in by_key
+         if s and s.startswith("scale_n")))
+
+    print("### Dynamic move cost (executed on the bytecode VM, gated)")
+    print()
+    print("| suite | runs | instrs (+C) | moves (+C) | instrs (no C) | "
+          "moves (no C) | moves saved |")
+    print("|---|---|---|---|---|---|---|")
+    for suite in named:
+        on = by_key.get((suite, "Lphi,ABI+C"))
+        off = by_key.get((suite, "Lphi,ABI"))
+        if not on or not off:
+            continue
+        print("| %s | %d | %d | %d | %d | %d | %d |" %
+              (suite, on.get("runs", 0), on.get("dyn_instrs", 0),
+               on.get("dyn_moves", 0), off.get("dyn_instrs", 0),
+               off.get("dyn_moves", 0),
+               off.get("dyn_moves", 0) - on.get("dyn_moves", 0)))
+    print()
+    print("### VM vs interpreter throughput (non-gating)")
+    print()
+    print("| sweep point | runs | vm s | interp s | speedup |")
+    print("|---|---|---|---|---|")
+    for _, suite, config in scale:
+        r = by_key[(suite, config)]
+        vm = r.get("vm_seconds", 0.0)
+        interp = r.get("interp_seconds", 0.0)
+        print("| %s | %d | %.4f | %.4f | %.2fx |" %
+              (suite, r.get("runs", 0), vm, interp,
+               interp / vm if vm > 0 else 0.0))
+    print()
+    print("Executed-instruction/move tallies and the output-trace digest "
+          "are bit-identical run to run and gated by "
+          "check_bench_regression.py; engine seconds are wall-clock and "
+          "informational only.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -278,6 +278,64 @@ class TestRegpressureKeying(CheckerHarness):
         self.assertEqual(status, 0, out)
 
 
+class TestExecRecords(CheckerHarness):
+    """BENCH_exec.json: dynamic execution tallies gate bit-identically,
+    engine wall-clock never does."""
+
+    def exec_record(self, **overrides):
+        rec = {"suite": "VALcc1", "config": "Lphi,ABI+C", "functions": 22,
+               "runs": 61, "errors": 0, "dyn_instrs": 24850,
+               "dyn_moves": 5189, "outputs": 0x1234ABCD5678EF90,
+               "vm_seconds": 0.002, "interp_seconds": 0.008,
+               "speedup": 4.0}
+        rec.update(overrides)
+        return rec
+
+    def test_identical_exec_records_pass(self):
+        doc = bench_doc([self.exec_record()])
+        status, out = self.run_checker(doc, doc)
+        self.assertEqual(status, 0, out)
+
+    def test_dyn_moves_change_fails(self):
+        base = bench_doc([self.exec_record()])
+        fresh = bench_doc([self.exec_record(dyn_moves=5190)])
+        self.assert_fails_naming(base, fresh, "dyn_moves",
+                                 "must be bit-identical")
+
+    def test_dyn_instrs_change_fails(self):
+        base = bench_doc([self.exec_record()])
+        fresh = bench_doc([self.exec_record(dyn_instrs=24849)])
+        self.assert_fails_naming(base, fresh, "dyn_instrs",
+                                 "must be bit-identical")
+
+    def test_output_digest_change_fails(self):
+        # The digest folds every run's status, output trace and return
+        # value; any behavioral drift in either engine lands here.
+        base = bench_doc([self.exec_record()])
+        fresh = bench_doc([self.exec_record(outputs=0x1234ABCD5678EF91)])
+        self.assert_fails_naming(base, fresh, "outputs",
+                                 "must be bit-identical")
+
+    def test_engine_timings_never_gate(self):
+        base = bench_doc([self.exec_record()])
+        fresh = bench_doc([self.exec_record(vm_seconds=0.2,
+                                            interp_seconds=0.1,
+                                            speedup=0.5)])
+        status, out = self.run_checker(base, fresh)
+        self.assertEqual(status, 0, out)
+
+    def test_scale_records_without_probe_counters_skip_sublinearity(self):
+        # The exec sweep reuses the scale_n* suite names but carries no
+        # classinterf counters; the sublinearity check must not engage.
+        doc = bench_doc([
+            self.exec_record(suite="scale_n40", config="ssa", counters={}),
+            self.exec_record(suite="scale_n640", config="ssa", counters={}),
+        ])
+        status, out = self.run_checker(doc, doc)
+        self.assertEqual(status, 0, out)
+        self.assertIn("on 0 scale points", out)
+
+
 class TestSublinearity(CheckerHarness):
     def test_lost_sublinearity_fails(self):
         def scale(n, probes, pair_cost):

@@ -1,0 +1,395 @@
+//===- Bytecode.cpp - Mini-LAI bytecode compiler -------------------------===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Bytecode.h"
+
+#include "exec/Interpreter.h"
+#include "outofssa/LeungGeorge.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace lao;
+
+namespace {
+
+/// Which BcInstr field a pending branch-target fixup patches.
+enum class PatchField : uint8_t { A, B, C };
+
+struct Compiler {
+  const Function &F;
+  BytecodeFunction BF;
+
+  /// Offset of each block's first non-phi instruction, by block id.
+  std::vector<uint32_t> BlockBodyPc;
+  struct Fixup {
+    uint32_t Pc;
+    PatchField Field;
+    uint32_t BlockId;
+  };
+  std::vector<Fixup> Fixups;
+
+  explicit Compiler(const Function &F) : F(F) {
+    BF.Name = F.name();
+    BF.NumRegs = static_cast<uint32_t>(F.numValues());
+    BF.NumParams = F.numParams();
+    BF.RegNames.reserve(BF.NumRegs);
+    for (RegId R = 0; R < BF.NumRegs; ++R)
+      BF.RegNames.push_back(F.valueName(R));
+    BF.InstrPc.assign(F.instrRefLimit(), ~0u);
+    BlockBodyPc.assign(F.numBlocks(), ~0u);
+  }
+
+  uint32_t pc() const { return static_cast<uint32_t>(BF.Code.size()); }
+
+  uint32_t emit(BcOp Op, uint32_t A = 0, uint32_t B = 0, uint32_t C = 0,
+                int64_t Imm = 0) {
+    BF.Code.push_back({Op, A, B, C, Imm});
+    return pc() - 1;
+  }
+
+  void addFixup(uint32_t At, PatchField Field, const BasicBlock *Target) {
+    Fixups.push_back({At, Field, Target->id()});
+  }
+
+  /// Fresh frame slot for breaking copy cycles; never read before its
+  /// write, so the name is diagnostic-only.
+  RegId makeTemp() {
+    RegId Tmp = BF.NumRegs++;
+    BF.RegNames.push_back("bc.swap" + std::to_string(Tmp));
+    return Tmp;
+  }
+
+  uint32_t internError(std::string Msg) {
+    for (uint32_t K = 0; K < BF.Errors.size(); ++K)
+      if (BF.Errors[K] == Msg)
+        return K;
+    BF.Errors.push_back(std::move(Msg));
+    return static_cast<uint32_t>(BF.Errors.size() - 1);
+  }
+
+  uint32_t internCallee(const std::string &Name) {
+    for (uint32_t K = 0; K < BF.Callees.size(); ++K)
+      if (BF.Callees[K] == Name)
+        return K;
+    BF.Callees.push_back(Name);
+    BF.CalleeSeeds.push_back(builtinCallSeed(Name));
+    return static_cast<uint32_t>(BF.Callees.size() - 1);
+  }
+
+  /// Emits one parallel copy: CheckDef for identity entries (the
+  /// interpreter still reads them, so an undefined source must keep
+  /// failing), then the non-identity entries sequentialized through the
+  /// same algorithm the IR lowering uses.
+  void emitCopies(const std::vector<CopyPair> &Identity,
+                  std::vector<CopyPair> Pairs) {
+    for (const auto &[Dst, Src] : Identity) {
+      (void)Dst;
+      emit(BcOp::CheckDef, Src);
+    }
+    std::vector<CopyPair> Seq;
+    sequentializeCopyPairs(std::move(Pairs), [this] { return makeTemp(); },
+                           Seq);
+    for (const auto &[Dst, Src] : Seq)
+      emit(BcOp::Mov, Dst, Src);
+  }
+
+  /// Lowers the leading phis of \p Succ for the CFG edge \p Pred -> \p
+  /// Succ. An edge with no matching phi entry compiles to the
+  /// interpreter's dynamic error, preceded by CheckDefs for the sources
+  /// the interpreter would have read first.
+  void emitPhiMoves(const BasicBlock *Pred, const BasicBlock *Succ) {
+    std::vector<CopyPair> Identity, Pairs;
+    std::vector<RegId> ReadOrder;
+    for (const Instruction &P : Succ->instructions()) {
+      if (!P.isPhi())
+        break;
+      bool Found = false;
+      for (unsigned K = 0; K < P.numUses(); ++K) {
+        if (P.incomingBlock(K) != Pred)
+          continue;
+        RegId Src = P.use(K), Dst = P.def(0);
+        ReadOrder.push_back(Src);
+        if (Dst == Src)
+          Identity.push_back({Dst, Src});
+        else
+          Pairs.push_back({Dst, Src});
+        Found = true;
+        break;
+      }
+      if (!Found) {
+        for (RegId Src : ReadOrder)
+          emit(BcOp::CheckDef, Src);
+        emit(BcOp::Error, 0, 0, 0,
+             internError(formatStr("phi in %s has no entry for predecessor %s",
+                                   Succ->name().c_str(),
+                                   Pred->name().c_str())));
+        return;
+      }
+    }
+    emitCopies(Identity, std::move(Pairs));
+  }
+
+  /// True when \p BB starts with a phi (its body pc then differs from its
+  /// edge-entry semantics).
+  static bool hasLeadingPhi(const BasicBlock *BB) {
+    return !BB->instructions().empty() &&
+           BB->instructions().begin()->isPhi();
+  }
+
+  /// Compiles the edge \p Pred -> \p Succ of the terminator at \p At,
+  /// patching \p Field to the right entry pc. Phi-free edges jump
+  /// straight to the successor body; edges with phis get an inline stub
+  /// (copies + Jump).
+  void wireEdge(uint32_t At, PatchField Field, const BasicBlock *Pred,
+                const BasicBlock *Succ) {
+    if (!hasLeadingPhi(Succ)) {
+      addFixup(At, Field, Succ);
+      return;
+    }
+    uint32_t Stub = pc();
+    emitPhiMoves(Pred, Succ);
+    addFixup(emit(BcOp::Jump), PatchField::A, Succ);
+    patch(At, Field, Stub);
+  }
+
+  void patch(uint32_t At, PatchField Field, uint32_t Value) {
+    BcInstr &I = BF.Code[At];
+    (Field == PatchField::A ? I.A : Field == PatchField::B ? I.B : I.C) =
+        Value;
+  }
+
+  void compileInstr(const BasicBlock *BB, const Instruction &I) {
+    uint32_t Start = pc();
+    switch (I.op()) {
+    case Opcode::Phi:
+      // Leading phis were skipped by the caller; a phi below the leading
+      // group is structurally malformed (verifyStructure rejects it), so
+      // any execution reaching one is an error.
+      emit(BcOp::Error, 0, 0, 0,
+           internError("phi below the leading phi group in block " +
+                       BB->name()));
+      break;
+    case Opcode::Input: {
+      uint32_t Off = static_cast<uint32_t>(BF.Pool.size());
+      for (unsigned K = 0; K < I.numDefs(); ++K)
+        BF.Pool.push_back(I.def(K));
+      emit(BcOp::Input, Off, I.numDefs());
+      break;
+    }
+    case Opcode::Make:
+      emit(BcOp::Make, I.def(0), 0, 0, I.imm());
+      break;
+    case Opcode::Mov:
+      emit(BcOp::Mov, I.def(0), I.use(0));
+      break;
+    case Opcode::ParCopy: {
+      std::vector<CopyPair> Identity, Pairs;
+      for (unsigned K = 0; K < I.numDefs(); ++K) {
+        if (I.def(K) == I.use(K))
+          Identity.push_back({I.def(K), I.use(K)});
+        else
+          Pairs.push_back({I.def(K), I.use(K)});
+      }
+      emitCopies(Identity, std::move(Pairs));
+      break;
+    }
+    case Opcode::Add:
+      emit(BcOp::Add, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::Sub:
+      emit(BcOp::Sub, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::Mul:
+      emit(BcOp::Mul, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::And:
+      emit(BcOp::And, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::Or:
+      emit(BcOp::Or, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::Xor:
+      emit(BcOp::Xor, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::Shl:
+      emit(BcOp::Shl, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::Shr:
+      emit(BcOp::Shr, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::CmpLT:
+      emit(BcOp::CmpLT, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::CmpEQ:
+      emit(BcOp::CmpEQ, I.def(0), I.use(0), I.use(1));
+      break;
+    case Opcode::AddI:
+    case Opcode::AutoAdd:
+    case Opcode::SpAdjust:
+      emit(BcOp::AddImm, I.def(0), I.use(0), 0, I.imm());
+      break;
+    case Opcode::More:
+      emit(BcOp::More, I.def(0), I.use(0), 0, I.imm());
+      break;
+    case Opcode::Load:
+      emit(BcOp::Load, I.def(0), I.use(0));
+      break;
+    case Opcode::Store:
+      emit(BcOp::Store, I.use(0), I.use(1));
+      break;
+    case Opcode::Call: {
+      uint32_t Off = static_cast<uint32_t>(BF.Pool.size());
+      for (RegId U : I.uses())
+        BF.Pool.push_back(U);
+      emit(BcOp::Call, I.def(0), Off, I.numUses(), internCallee(I.callee()));
+      break;
+    }
+    case Opcode::Psi:
+      emit(BcOp::Psi, I.def(0), I.use(0), I.use(1),
+           static_cast<int64_t>(I.use(2)));
+      break;
+    case Opcode::Output:
+      emit(BcOp::Output, I.use(0));
+      break;
+    case Opcode::Ret:
+      emit(BcOp::Ret, I.use(0));
+      break;
+    case Opcode::Jump:
+      emitPhiMoves(BB, I.target(0));
+      addFixup(emit(BcOp::Jump), PatchField::A, I.target(0));
+      break;
+    case Opcode::Branch: {
+      const BasicBlock *T = I.target(0), *E = I.target(1);
+      uint32_t Br = emit(BcOp::Branch, I.use(0));
+      if (T == E && hasLeadingPhi(T)) {
+        // Degenerate two-way branch to one block: a single shared stub
+        // keeps the phi copies from being emitted twice.
+        uint32_t Stub = pc();
+        emitPhiMoves(BB, T);
+        addFixup(emit(BcOp::Jump), PatchField::A, T);
+        patch(Br, PatchField::B, Stub);
+        patch(Br, PatchField::C, Stub);
+        break;
+      }
+      wireEdge(Br, PatchField::B, BB, T);
+      wireEdge(Br, PatchField::C, BB, E);
+      break;
+    }
+    }
+    if (pc() != Start)
+      BF.InstrPc[I.selfRef()] = Start;
+  }
+
+  BytecodeFunction run() {
+    // Initial entry into a block whose leading instruction is a phi is a
+    // dynamic error in the interpreter (there is no predecessor edge to
+    // select an incoming value); keep the same behavior from pc 0. Back
+    // edges into the entry block go through their own stubs.
+    if (hasLeadingPhi(&F.entry()))
+      emit(BcOp::Error, 0, 0, 0,
+           internError(formatStr("phi in %s has no entry for predecessor %s",
+                                 F.entry().name().c_str(), "<entry>")));
+
+    for (const auto &BBPtr : F.blocks()) {
+      const BasicBlock *BB = BBPtr.get();
+      auto It = BB->instructions().begin();
+      while (It != BB->instructions().end() && It->isPhi())
+        ++It;
+      BlockBodyPc[BB->id()] = pc();
+      for (; It != BB->instructions().end(); ++It)
+        compileInstr(BB, *It);
+      // Control that runs past the last instruction (empty body or a
+      // missing terminator) fails exactly like the interpreter.
+      if (!BB->hasTerminator())
+        emit(BcOp::Error, 0, 0, 0,
+             internError("fell off the end of block " + BB->name()));
+    }
+
+    for (const Fixup &Fx : Fixups) {
+      assert(BlockBodyPc[Fx.BlockId] != ~0u && "unresolved branch target");
+      patch(Fx.Pc, Fx.Field, BlockBodyPc[Fx.BlockId]);
+    }
+    return std::move(BF);
+  }
+};
+
+} // namespace
+
+BytecodeFunction lao::compileToBytecode(const Function &F) {
+  Compiler C(F);
+  BytecodeFunction BF = C.run();
+  LAO_STAT(exec, bytecode_compiles) += 1;
+  LAO_STAT(exec, bytecode_instrs) += BF.Code.size();
+  return BF;
+}
+
+std::string lao::printBytecode(const BytecodeFunction &BF) {
+  static const char *Names[] = {
+      "input", "make",  "mov",  "checkdef", "add",    "sub",  "mul",
+      "and",   "or",    "xor",  "shl",      "shr",    "cmplt", "cmpeq",
+      "addimm", "more", "load", "store",    "call",   "psi",  "output",
+      "ret",   "jump",  "branch", "error"};
+  std::string Out = "func @" + BF.Name + " (" + std::to_string(BF.NumRegs) +
+                    " regs, " + std::to_string(BF.NumParams) + " params)\n";
+  for (uint32_t P = 0; P < BF.Code.size(); ++P) {
+    const BcInstr &I = BF.Code[P];
+    Out += formatStr("%4u: %-8s", P, Names[static_cast<unsigned>(I.Op)]);
+    switch (I.Op) {
+    case BcOp::Input:
+      for (uint32_t K = 0; K < I.B; ++K)
+        Out += " r" + std::to_string(BF.Pool[I.A + K]);
+      break;
+    case BcOp::Make:
+      Out += formatStr(" r%u, %lld", I.A, static_cast<long long>(I.Imm));
+      break;
+    case BcOp::Mov:
+    case BcOp::Load:
+      Out += formatStr(" r%u, r%u", I.A, I.B);
+      break;
+    case BcOp::CheckDef:
+    case BcOp::Output:
+    case BcOp::Ret:
+      Out += formatStr(" r%u", I.A);
+      break;
+    case BcOp::Store:
+      Out += formatStr(" [r%u], r%u", I.A, I.B);
+      break;
+    case BcOp::AddImm:
+    case BcOp::More:
+      Out += formatStr(" r%u, r%u, %lld", I.A, I.B,
+                       static_cast<long long>(I.Imm));
+      break;
+    case BcOp::Call: {
+      Out += formatStr(" r%u, @%s(", I.A,
+                       BF.Callees[static_cast<size_t>(I.Imm)].c_str());
+      for (uint32_t K = 0; K < I.C; ++K)
+        Out += (K ? ", r" : "r") + std::to_string(BF.Pool[I.B + K]);
+      Out += ")";
+      break;
+    }
+    case BcOp::Psi:
+      Out += formatStr(" r%u, r%u ? r%u : r%u", I.A, I.B, I.C,
+                       static_cast<uint32_t>(I.Imm));
+      break;
+    case BcOp::Jump:
+      Out += formatStr(" %u", I.A);
+      break;
+    case BcOp::Branch:
+      Out += formatStr(" r%u, %u, %u", I.A, I.B, I.C);
+      break;
+    case BcOp::Error:
+      Out += " \"" + BF.Errors[static_cast<size_t>(I.Imm)] + "\"";
+      break;
+    default:
+      Out += formatStr(" r%u, r%u, r%u", I.A, I.B, I.C);
+      break;
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,117 @@
+//===- Bytecode.h - Mini-LAI register-machine bytecode ----------*- C++ -*-===//
+//
+// Part of the lao project (CGO 2004 out-of-SSA reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat register-machine bytecode for mini-LAI functions and a
+/// single-pass compiler producing it (docs/EXEC.md). The bytecode exists
+/// so the VM (VM.h) can execute property-test workloads at dispatch-loop
+/// speed instead of the tree-walk interpreter's pointer-chasing pace, and
+/// so *dynamically executed* moves become a measurable quantity.
+///
+/// Compilation accepts any structurally well-formed function — SSA (phi
+/// and psi), post-out-of-SSA (parallel copies), or fully lowered code:
+///
+///  * Virtual-register frames are dense, indexed by the function's
+///    compact value numbering (`Function::numValues()` slots, plus fresh
+///    temporaries appended for copy-cycle breaking).
+///  * Phi groups are lowered per CFG edge: each predecessor edge gets a
+///    stub that runs the phi moves as one sequentialized parallel copy
+///    (reusing `sequentializeCopyPairs` from the out-of-SSA translator)
+///    and jumps to the successor's first non-phi instruction. ParCopy
+///    instructions are lowered in place the same way.
+///  * Branch targets are resolved to instruction offsets; runtime errors
+///    the interpreter discovers dynamically (entry-block phis, a missing
+///    phi entry for an edge, falling off a block's end) compile to Error
+///    instructions carrying the interpreter's exact message.
+///
+/// The equivalence contract with `interpret()` is `ExecResult::sameOutcome`:
+/// identical status class, output trace, and return value on every input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAO_EXEC_BYTECODE_H
+#define LAO_EXEC_BYTECODE_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lao {
+
+/// Bytecode operations. Branch-free frame access: register operands are
+/// direct indices into the VM frame.
+enum class BcOp : uint8_t {
+  Input,    ///< Bind arguments: Pool[A..A+B) = dest regs.
+  Make,     ///< A = Imm.
+  Mov,      ///< A = B (counted as a dynamic move).
+  CheckDef, ///< Error if A is undefined (identity copies still read).
+  Add,      ///< A = B + C.
+  Sub,      ///< A = B - C.
+  Mul,      ///< A = B * C.
+  And,      ///< A = B & C.
+  Or,       ///< A = B | C.
+  Xor,      ///< A = B ^ C.
+  Shl,      ///< A = B << (C & 63).
+  Shr,      ///< A = B >> (C & 63).
+  CmpLT,    ///< A = (int64)B < (int64)C.
+  CmpEQ,    ///< A = B == C.
+  AddImm,   ///< A = B + Imm (AddI / AutoAdd / SpAdjust).
+  More,     ///< A = B | (Imm & 0xFFFF) << 16.
+  Load,     ///< A = Memory[B] (hash of address when unwritten).
+  Store,    ///< Memory[A] = B.
+  Call,     ///< A = builtinCall(Callees[Imm], Pool[B..B+C)).
+  Psi,      ///< A = B != 0 ? C : Imm (Imm holds the fourth register).
+  Output,   ///< Append A to the output trace.
+  Ret,      ///< Return A.
+  Jump,     ///< pc = A.
+  Branch,   ///< pc = (A != 0) ? B : C.
+  Error,    ///< Fail with Errors[Imm] (compiled-in dynamic error).
+};
+
+/// One bytecode instruction. Fixed-size; A/B/C are register indices or
+/// instruction offsets depending on Op, Imm is an immediate, a pool/table
+/// index, or a fourth register.
+struct BcInstr {
+  BcOp Op;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+  int64_t Imm = 0;
+};
+
+/// A compiled function: flat code, operand pool for variable-arity
+/// instructions, and side tables for diagnostics.
+struct BytecodeFunction {
+  std::string Name;
+  std::vector<BcInstr> Code;
+  std::vector<uint32_t> Pool;       ///< Operand lists (Input dests, Call args).
+  std::vector<std::string> Callees; ///< Call target names.
+  std::vector<uint64_t> CalleeSeeds; ///< builtinCallSeed per callee.
+  std::vector<std::string> Errors;  ///< Messages for Error instructions.
+  std::vector<std::string> RegNames; ///< Frame slot names (diagnostics).
+  uint32_t NumRegs = 0;   ///< Frame size: numValues() + cycle temporaries.
+  uint32_t NumParams = 0; ///< Arity expected by Input.
+
+  /// Dense map from IR instruction table slots (`Function::instrRefLimit()`
+  /// entries, indexed by `Instruction::selfRef()`) to the offset of the
+  /// first bytecode instruction emitted for that IR instruction, or
+  /// `~0u` for instructions that produced no code (phis: their moves
+  /// live in predecessor edge stubs).
+  std::vector<uint32_t> InstrPc;
+};
+
+/// Compiles \p F to bytecode in one pass over its blocks.
+BytecodeFunction compileToBytecode(const Function &F);
+
+/// Human-readable listing of \p BF, one instruction per line ("pc: op
+/// operands"). For tests and debugging.
+std::string printBytecode(const BytecodeFunction &BF);
+
+} // namespace lao
+
+#endif // LAO_EXEC_BYTECODE_H

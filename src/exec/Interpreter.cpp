@@ -12,18 +12,21 @@
 
 using namespace lao;
 
-uint64_t lao::builtinCall(const std::string &Callee,
-                          const std::vector<uint64_t> &Args) {
-  // FNV-1a over the name, then mix in each argument (order-sensitive).
+uint64_t lao::builtinCallSeed(const std::string &Callee) {
+  // FNV-1a over the name; arguments are mixed in afterwards.
   uint64_t H = 0xCBF29CE484222325ULL;
   for (char C : Callee) {
     H ^= static_cast<unsigned char>(C);
     H *= 0x100000001B3ULL;
   }
-  for (uint64_t A : Args) {
-    H ^= A + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
-    H *= 0x100000001B3ULL;
-  }
+  return H;
+}
+
+uint64_t lao::builtinCall(const std::string &Callee,
+                          const std::vector<uint64_t> &Args) {
+  uint64_t H = builtinCallSeed(Callee);
+  for (uint64_t A : Args)
+    H = builtinCallMix(H, A);
   return H;
 }
 
@@ -46,10 +49,18 @@ struct Machine {
   }
 
   bool fail(const std::string &Msg) {
-    Result.Ok = false;
+    if (Result.ok())
+      Result.Status = ExecStatus::Error;
     if (Result.Error.empty())
       Result.Error = Msg;
     return false;
+  }
+
+  void timeout() {
+    if (Result.ok()) {
+      Result.Status = ExecStatus::TimedOut;
+      Result.Error = "step limit exceeded";
+    }
   }
 
   bool read(RegId R, uint64_t &Out) {
@@ -71,7 +82,7 @@ ExecResult lao::interpret(const Function &F,
                           const std::vector<uint64_t> &Args,
                           uint64_t MaxSteps) {
   Machine M(F);
-  M.Result.Ok = true;
+  M.Result.Status = ExecStatus::Ok;
 
   const BasicBlock *BB = &F.entry();
   const BasicBlock *PrevBB = nullptr;
@@ -85,7 +96,7 @@ ExecResult lao::interpret(const Function &F,
       break;
     }
     if (++M.Result.Steps > MaxSteps) {
-      M.fail("step limit exceeded");
+      M.timeout();
       break;
     }
     const Instruction &I = *It;
@@ -150,8 +161,10 @@ ExecResult lao::interpret(const Function &F,
       break;
     case Opcode::Mov: {
       uint64_t V;
-      if (M.read(I.use(0), V))
+      if (M.read(I.use(0), V)) {
         M.write(I.def(0), V);
+        ++M.Result.DynMoves;
+      }
       break;
     }
     case Opcode::ParCopy: {
@@ -164,8 +177,11 @@ ExecResult lao::interpret(const Function &F,
       }
       if (!ReadOk)
         break;
-      for (unsigned K = 0; K < I.numDefs(); ++K)
+      for (unsigned K = 0; K < I.numDefs(); ++K) {
         M.write(I.def(K), Scratch[K]);
+        if (I.def(K) != I.use(K))
+          ++M.Result.DynMoves;
+      }
       break;
     }
     case Opcode::Add:
@@ -284,7 +300,7 @@ ExecResult lao::interpret(const Function &F,
       break; // Handled above.
     }
 
-    if (!M.Result.Ok)
+    if (!M.Result.ok())
       break;
     if (Advance)
       ++It;

@@ -29,17 +29,45 @@
 
 namespace lao {
 
-/// Result of interpreting a function.
+/// How an execution ended. TimedOut (the step budget ran out) is kept
+/// distinct from Error so callers can tell "translation clobbered a
+/// value" from "workload too big for the budget".
+enum class ExecStatus : uint8_t {
+  Ok,       ///< Ran to `ret`.
+  Error,    ///< Runtime error (see ExecResult::Error).
+  TimedOut, ///< MaxSteps exhausted before `ret`.
+};
+
+/// Result of executing a function (tree-walk interpreter or bytecode VM).
 struct ExecResult {
-  bool Ok = false;            ///< False on runtime error (see Error).
-  std::string Error;          ///< Diagnostic when !Ok.
+  ExecStatus Status = ExecStatus::Error; ///< How the run ended.
+  std::string Error;          ///< Diagnostic when !ok().
   std::vector<uint64_t> Outputs; ///< Values emitted by `output`.
   uint64_t RetValue = 0;      ///< Value of `ret`.
-  uint64_t Steps = 0;         ///< Instructions executed.
+  uint64_t Steps = 0;         ///< Instructions executed (engine-specific).
+  uint64_t DynMoves = 0;      ///< Copies executed (engine-specific on
+                              ///< code still containing parallel copies).
+
+  bool ok() const { return Status == ExecStatus::Ok; }
+  bool timedOut() const { return Status == ExecStatus::TimedOut; }
 
   bool sameObservable(const ExecResult &Other) const {
-    return Ok && Other.Ok && Outputs == Other.Outputs &&
+    return ok() && Other.ok() && Outputs == Other.Outputs &&
            RetValue == Other.RetValue;
+  }
+
+  /// Engine-equivalence contract (docs/EXEC.md): same status class, same
+  /// output trace, same return value when both completed. A timed-out
+  /// run's trace is an engine-dependent prefix (engines charge different
+  /// step counts for lowered copies), so only the status is compared.
+  bool sameOutcome(const ExecResult &Other) const {
+    if (Status != Other.Status)
+      return false;
+    if (timedOut())
+      return true;
+    if (Outputs != Other.Outputs)
+      return false;
+    return !ok() || RetValue == Other.RetValue;
   }
 };
 
@@ -52,6 +80,22 @@ ExecResult interpret(const Function &F, const std::vector<uint64_t> &Args,
 /// tests can predict call results.
 uint64_t builtinCall(const std::string &Callee,
                      const std::vector<uint64_t> &Args);
+
+/// The callee-name-dependent prefix of builtinCall's hash. It only
+/// depends on the name, so the bytecode compiler caches one seed per
+/// callee (BytecodeFunction::CalleeSeeds) and the VM skips the string
+/// walk at call time.
+uint64_t builtinCallSeed(const std::string &Callee);
+
+/// Folds one argument into a builtinCall hash:
+/// builtinCall(C, Args) == builtinCallSeed(C) mixed with each argument
+/// in order. Shared by builtinCall and the VM's Call handler so the two
+/// cannot drift.
+inline uint64_t builtinCallMix(uint64_t H, uint64_t A) {
+  H ^= A + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+  H *= 0x100000001B3ULL;
+  return H;
+}
 
 } // namespace lao
 

@@ -434,6 +434,36 @@ OutOfSSAStats lao::translateOutOfSSA(Function &F, PinningContext &Ctx,
   return Stats;
 }
 
+void lao::sequentializeCopyPairs(std::vector<CopyPair> Entries,
+                                 const std::function<RegId()> &MakeTemp,
+                                 std::vector<CopyPair> &Out) {
+  while (!Entries.empty()) {
+    // Emit a copy whose destination is not needed as a source.
+    bool Progress = false;
+    for (size_t K = 0; K < Entries.size(); ++K) {
+      RegId Dst = Entries[K].first;
+      bool DstIsSource = false;
+      for (auto &[D2, S2] : Entries)
+        DstIsSource |= S2 == Dst;
+      if (DstIsSource)
+        continue;
+      Out.push_back(Entries[K]);
+      Entries.erase(Entries.begin() + K);
+      Progress = true;
+      break;
+    }
+    if (Progress)
+      continue;
+    // Pure cycle: break it with a temporary (the swap problem).
+    RegId CycleSrc = Entries.front().second;
+    RegId Tmp = MakeTemp();
+    Out.push_back({Tmp, CycleSrc});
+    for (auto &[D2, S2] : Entries)
+      if (S2 == CycleSrc)
+        S2 = Tmp;
+  }
+}
+
 unsigned lao::sequentializeParallelCopies(Function &F) {
   unsigned NumMoves = 0;
   for (const auto &BB : F.blocks()) {
@@ -444,47 +474,22 @@ unsigned lao::sequentializeParallelCopies(Function &F) {
         continue;
       }
       // Gather entries, dropping identities.
-      std::vector<std::pair<RegId, RegId>> Entries; // (dst, src)
+      std::vector<CopyPair> Entries; // (dst, src)
       for (unsigned K = 0; K < It->numDefs(); ++K)
         if (It->def(K) != It->use(K))
           Entries.push_back({It->def(K), It->use(K)});
 
-      std::vector<Instruction> Seq;
-      while (!Entries.empty()) {
-        // Emit a copy whose destination is not needed as a source.
-        bool Progress = false;
-        for (size_t K = 0; K < Entries.size(); ++K) {
-          RegId Dst = Entries[K].first;
-          bool DstIsSource = false;
-          for (auto &[D2, S2] : Entries)
-            DstIsSource |= S2 == Dst;
-          if (DstIsSource)
-            continue;
-          Instruction Mv(Opcode::Mov);
-          Mv.addDef(Dst);
-          Mv.addUse(Entries[K].second);
-          Seq.push_back(std::move(Mv));
-          Entries.erase(Entries.begin() + K);
-          Progress = true;
-          break;
-        }
-        if (Progress)
-          continue;
-        // Pure cycle: break it with a temporary (the swap problem).
-        RegId CycleSrc = Entries.front().second;
-        RegId Tmp = F.makeVirtual("swap");
-        Instruction Mv(Opcode::Mov);
-        Mv.addDef(Tmp);
-        Mv.addUse(CycleSrc);
-        Seq.push_back(std::move(Mv));
-        for (auto &[D2, S2] : Entries)
-          if (S2 == CycleSrc)
-            S2 = Tmp;
-      }
+      std::vector<CopyPair> Seq;
+      sequentializeCopyPairs(std::move(Entries),
+                             [&F] { return F.makeVirtual("swap"); }, Seq);
 
       NumMoves += Seq.size();
-      for (Instruction &Mv : Seq)
+      for (auto &[Dst, Src] : Seq) {
+        Instruction Mv(Opcode::Mov);
+        Mv.addDef(Dst);
+        Mv.addUse(Src);
         Insts.insert(It, std::move(Mv));
+      }
       It = Insts.erase(It);
     }
   }

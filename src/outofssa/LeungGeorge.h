@@ -38,6 +38,10 @@
 
 #include "outofssa/PinningContext.h"
 
+#include <functional>
+#include <utility>
+#include <vector>
+
 namespace lao {
 
 struct OutOfSSAStats {
@@ -52,6 +56,19 @@ struct OutOfSSAStats {
 /// Translates \p F out of SSA under the pinning in \p Ctx. Mutates F.
 OutOfSSAStats translateOutOfSSA(Function &F, PinningContext &Ctx,
                                 const CFG &Cfg);
+
+/// One parallel-copy entry: (destination, source).
+using CopyPair = std::pair<RegId, RegId>;
+
+/// Sequentializes the non-identity (dst, src) entries of one parallel
+/// copy into an ordered move list appended to \p Out: a copy is emitted
+/// as soon as its destination is no longer needed as a source, and pure
+/// cycles are broken with a fresh temporary from \p MakeTemp (the swap
+/// problem). Shared by the IR lowering below and the bytecode compiler
+/// (src/exec/Bytecode.cpp) so both produce the same move sequence.
+void sequentializeCopyPairs(std::vector<CopyPair> Entries,
+                            const std::function<RegId()> &MakeTemp,
+                            std::vector<CopyPair> &Out);
 
 /// Lowers every ParCopy into a sequence of Mov instructions, inserting
 /// fresh temporaries to break copy cycles (the swap problem). Identity

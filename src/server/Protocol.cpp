@@ -100,6 +100,7 @@ bool splitBody(const std::string &Body, std::string &Headers,
 bool parseOptions(const std::string &Headers, std::string &Pipeline,
                   bool &BuildSSA, uint64_t &DeadlineMs, uint64_t &SleepMs,
                   std::string &RegAlloc, uint64_t &RegAllocRegs,
+                  std::string &Exec, std::vector<uint64_t> &ExecArgs,
                   uint64_t *CountOut, bool *SawCount, std::string &ErrorOut) {
   for (const std::string &Line : splitString(Headers, '\n')) {
     size_t Colon = Line.find(':');
@@ -115,6 +116,22 @@ bool parseOptions(const std::string &Headers, std::string &Pipeline,
       // Preset validity is a semantic (server-side) concern, like
       // pipeline's: parsing only records the string.
       RegAlloc = Value;
+    } else if (Key == "exec") {
+      // Engine-name validity is semantic too; parsing records the string.
+      Exec = Value;
+    } else if (Key == "exec_args") {
+      ExecArgs.clear();
+      if (!Value.empty())
+        for (const std::string &Tok : splitString(Value, ',')) {
+          uint64_t V = 0;
+          if (!parseU64(trimString(Tok), V)) {
+            ErrorOut = formatStr("exec_args wants comma-separated numbers, "
+                                 "got '%s'",
+                                 Tok.c_str());
+            return false;
+          }
+          ExecArgs.push_back(V);
+        }
     } else if (Key == "ssa") {
       BuildSSA = Value == "1" || Value == "true";
     } else if (Key == "deadline_ms" || Key == "sleep_ms" ||
@@ -182,7 +199,9 @@ bool parseItems(const std::string &Payload, std::vector<std::string> &Items,
 /// Renders the shared option block of a request frame body.
 std::string encodeOptions(const std::string &Pipeline, bool BuildSSA,
                           uint64_t DeadlineMs, uint64_t SleepMs,
-                          const std::string &RegAlloc, uint64_t RegAllocRegs) {
+                          const std::string &RegAlloc, uint64_t RegAllocRegs,
+                          const std::string &Exec,
+                          const std::vector<uint64_t> &ExecArgs) {
   std::string Body;
   Body += "pipeline: " + Pipeline + "\n";
   if (BuildSSA)
@@ -198,6 +217,15 @@ std::string encodeOptions(const std::string &Pipeline, bool BuildSSA,
   if (RegAllocRegs)
     Body += formatStr("regalloc_regs: %llu\n",
                       static_cast<unsigned long long>(RegAllocRegs));
+  if (!Exec.empty())
+    Body += "exec: " + Exec + "\n";
+  if (!ExecArgs.empty()) {
+    Body += "exec_args: ";
+    for (size_t K = 0; K < ExecArgs.size(); ++K)
+      Body += formatStr(K ? ",%llu" : "%llu",
+                        static_cast<unsigned long long>(ExecArgs[K]));
+    Body += "\n";
+  }
   return Body;
 }
 
@@ -253,8 +281,9 @@ bool parseResponseBody(const std::string &Body, Response &Out,
 } // namespace
 
 std::string lao::encodeRequest(const Request &R) {
-  std::string Body = encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs,
-                                   R.SleepMs, R.RegAlloc, R.RegAllocRegs);
+  std::string Body =
+      encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs, R.SleepMs,
+                    R.RegAlloc, R.RegAllocRegs, R.Exec, R.ExecArgs);
   Body += "\n";
   Body += R.Text;
   return frame("REQ", R.Id, Body);
@@ -265,8 +294,9 @@ std::string lao::encodeResponse(const Response &R) {
 }
 
 std::string lao::encodeBatchRequest(const BatchRequest &R) {
-  std::string Body = encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs,
-                                   R.SleepMs, R.RegAlloc, R.RegAllocRegs);
+  std::string Body =
+      encodeOptions(R.Pipeline, R.BuildSSA, R.DeadlineMs, R.SleepMs,
+                    R.RegAlloc, R.RegAllocRegs, R.Exec, R.ExecArgs);
   Body += formatStr("count: %zu\n", R.Texts.size());
   Body += "\n";
   for (const std::string &Text : R.Texts) {
@@ -312,8 +342,8 @@ FrameStatus lao::readRequest(std::istream &In, const FrameLimits &Limits,
   }
   Out.Text = std::move(Payload);
   parseOptions(Headers, Out.Pipeline, Out.BuildSSA, Out.DeadlineMs,
-               Out.SleepMs, Out.RegAlloc, Out.RegAllocRegs, nullptr, nullptr,
-               ErrorOut);
+               Out.SleepMs, Out.RegAlloc, Out.RegAllocRegs, Out.Exec,
+               Out.ExecArgs, nullptr, nullptr, ErrorOut);
   return FrameStatus::Ok;
 }
 
@@ -346,15 +376,16 @@ FrameStatus lao::readRequestFrame(std::istream &In, const FrameLimits &Limits,
   if (KindOut == FrameKind::Single) {
     ReqOut.Text = std::move(Payload);
     parseOptions(Headers, ReqOut.Pipeline, ReqOut.BuildSSA, ReqOut.DeadlineMs,
-                 ReqOut.SleepMs, ReqOut.RegAlloc, ReqOut.RegAllocRegs, nullptr,
-                 nullptr, ErrorOut);
+                 ReqOut.SleepMs, ReqOut.RegAlloc, ReqOut.RegAllocRegs,
+                 ReqOut.Exec, ReqOut.ExecArgs, nullptr, nullptr, ErrorOut);
     return FrameStatus::Ok;
   }
   uint64_t Count = 0;
   bool SawCount = false;
   if (!parseOptions(Headers, BatchOut.Pipeline, BatchOut.BuildSSA,
                     BatchOut.DeadlineMs, BatchOut.SleepMs, BatchOut.RegAlloc,
-                    BatchOut.RegAllocRegs, &Count, &SawCount, ErrorOut))
+                    BatchOut.RegAllocRegs, BatchOut.Exec, BatchOut.ExecArgs,
+                    &Count, &SawCount, ErrorOut))
     return FrameStatus::Ok;
   if (!SawCount) {
     ErrorOut = "batch body is missing the required count option";

@@ -32,8 +32,12 @@
 /// preset "<allocator>[/<spill-model>]", see regalloc/RegAlloc.h; runs
 /// register allocation after the pipeline), regalloc_regs (overrides
 /// the allocator's register-pool size; 0 = preset default; only
-/// meaningful with regalloc). Unknown keys are a per-request error, not
-/// a protocol error.
+/// meaningful with regalloc), exec (execute the transformed function and
+/// report dynamic counters: "interp", "vm", or "both" — "both" runs both
+/// engines and fails the request if their observables diverge, see
+/// docs/EXEC.md), exec_args (comma-separated decimal arguments for the
+/// entry `input`; only meaningful with exec). Unknown keys are a
+/// per-request error, not a protocol error.
 ///
 /// A response body is a one-line JSON stats/error record, a blank line,
 /// then the transformed function text (empty when the request failed).
@@ -89,6 +93,9 @@ struct Request {
   std::string RegAlloc;    ///< Allocator preset; empty = server default
                            ///< (which is usually "no allocation").
   uint64_t RegAllocRegs = 0; ///< Pool-size override; 0 = preset default.
+  std::string Exec;        ///< Execution engine ("interp"/"vm"/"both");
+                           ///< empty = do not execute.
+  std::vector<uint64_t> ExecArgs; ///< Arguments for the entry `input`.
   std::string Text;        ///< The mini-LAI function.
 };
 
@@ -109,6 +116,8 @@ struct BatchRequest {
   uint64_t SleepMs = 0;
   std::string RegAlloc;    ///< Shared allocator preset (see Request).
   uint64_t RegAllocRegs = 0;
+  std::string Exec;        ///< Shared execution engine (see Request).
+  std::vector<uint64_t> ExecArgs; ///< Shared arguments, every item.
   std::vector<std::string> Texts; ///< The mini-LAI functions, in order.
 };
 

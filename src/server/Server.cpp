@@ -7,6 +7,8 @@
 #include "server/Server.h"
 
 #include "analysis/AnalysisManager.h"
+#include "exec/Interpreter.h"
+#include "exec/VM.h"
 #include "ir/Function.h"
 #include "ir/IRParser.h"
 #include "ir/IRPrinter.h"
@@ -72,6 +74,19 @@ std::string lao::requestRecordJson(const RequestRecord &Rec) {
     W.key("regs_used").value(Rec.RegsUsed);
     W.key("frame_bytes").value(Rec.FrameBytes);
   }
+  if (Rec.HasExec) {
+    W.key("exec_engine").value(Rec.ExecEngine);
+    W.key("exec_status").value(Rec.ExecStatus);
+    if (!Rec.ExecError.empty())
+      W.key("exec_error").value(Rec.ExecError);
+    W.key("dyn_instrs").value(Rec.DynInstrs);
+    W.key("dyn_moves").value(Rec.DynMoves);
+    W.key("exec_outputs").beginArray();
+    for (uint64_t V : Rec.ExecOutputs)
+      W.value(V);
+    W.endArray();
+    W.key("exec_ret").value(Rec.ExecRet);
+  }
   W.key("counters").beginObject();
   for (const auto &[Key, Value] : Rec.Counters)
     W.key(Key).value(Value);
@@ -102,6 +117,16 @@ std::string batchSummaryJson(uint64_t Id, RequestOutcome O,
   W.key("seconds").value(Seconds);
   W.endObject();
   return W.take();
+}
+
+/// The step budget of a server-side execution request. Fixed (not a
+/// request option) so dyn counters stay comparable across clients; it is
+/// the engines' own default and comfortably covers every suite function.
+constexpr uint64_t ExecMaxSteps = 1u << 22;
+
+/// The record's wire name for how an execution ended.
+const char *execStatusName(const ExecResult &R) {
+  return R.ok() ? "ok" : R.timedOut() ? "timeout" : "error";
 }
 
 /// Drains the worker's recycler hit count into the global counter.
@@ -205,6 +230,14 @@ RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
       RA->NumRegs = static_cast<unsigned>(Req.RegAllocRegs);
     Config->RegAlloc = *RA;
   }
+  if (!Req.Exec.empty() && Req.Exec != "interp" && Req.Exec != "vm" &&
+      Req.Exec != "both") {
+    ++LAO_STAT(server, preset_errors);
+    return Finish(), Fail(RequestOutcome::UnknownPreset,
+                          formatStr("unknown exec engine '%s' (want interp, "
+                                    "vm or both)",
+                                    Req.Exec.c_str()));
+  }
 
   // Swap the request's function into the worker context: the reused
   // manager is rebound to it inside runPipeline, and the previous
@@ -243,6 +276,35 @@ RequestRecord Server::compileRequest(const Request &Req, WorkerContext &Ctx,
       Rec.FrameBytes = R.RegAlloc->FrameBytes;
     }
     Rec.IR = printFunction(*Ctx.F);
+    if (!Req.Exec.empty()) {
+      // Execute the transformed function the client just compiled. The
+      // VM is the reporting engine for "vm" and "both" (its dyn counters
+      // are the results axis the bench gates); "both" additionally runs
+      // the interpreter and holds the two to the sameOutcome contract —
+      // an in-process differential on live traffic.
+      ExecResult ER = Req.Exec == "interp"
+                          ? interpret(*Ctx.F, Req.ExecArgs, ExecMaxSteps)
+                          : executeVM(*Ctx.F, Req.ExecArgs, ExecMaxSteps);
+      if (Req.Exec == "both") {
+        ExecResult IRes = interpret(*Ctx.F, Req.ExecArgs, ExecMaxSteps);
+        if (!ER.sameOutcome(IRes)) {
+          ++LAO_STAT(server, exec_divergences);
+          return Finish(),
+                 Fail(RequestOutcome::PipelineError,
+                      formatStr("exec divergence: vm %s (%s), interp %s (%s)",
+                                execStatusName(ER), ER.Error.c_str(),
+                                execStatusName(IRes), IRes.Error.c_str()));
+        }
+      }
+      Rec.HasExec = true;
+      Rec.ExecEngine = Req.Exec;
+      Rec.ExecStatus = execStatusName(ER);
+      Rec.ExecError = ER.Error;
+      Rec.DynInstrs = ER.Steps;
+      Rec.DynMoves = ER.DynMoves;
+      Rec.ExecOutputs = std::move(ER.Outputs);
+      Rec.ExecRet = ER.ok() ? ER.RetValue : 0;
+    }
   } catch (const std::exception &E) {
     ++LAO_STAT(server, pipeline_errors);
     return Finish(), Fail(RequestOutcome::PipelineError,
@@ -431,6 +493,8 @@ void Server::dispatchBatch(Connection &C, BatchRequest Bat,
       R.SleepMs = St->Req.SleepMs;
       R.RegAlloc = St->Req.RegAlloc;
       R.RegAllocRegs = St->Req.RegAllocRegs;
+      R.Exec = St->Req.Exec;
+      R.ExecArgs = St->Req.ExecArgs;
       R.Text = std::move(St->Req.Texts[K]); // Each item read exactly once.
       RequestRecord Rec;
       try {

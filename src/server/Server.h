@@ -125,6 +125,21 @@ struct RequestRecord {
   unsigned SpillAccesses = 0;  ///< NumSpillLoads + NumSpillStores.
   unsigned RegsUsed = 0;       ///< RegAllocResult::NumRegsUsed.
   unsigned FrameBytes = 0;     ///< RegAllocResult::FrameBytes.
+  /// Execution-tier outcome, when the request carried an "exec" key. The
+  /// record then reports exec_engine/exec_status/dyn_instrs/dyn_moves/
+  /// exec_outputs/exec_ret (plus exec_error when the run failed). A
+  /// program-level failure (undefined read, step limit) is a valid
+  /// result, not a request error; only a "both" divergence fails the
+  /// request. dyn counters come from the engine that ran — the VM for
+  /// "vm" and "both", the interpreter for "interp".
+  bool HasExec = false;
+  std::string ExecEngine;      ///< "interp", "vm" or "both", as requested.
+  std::string ExecStatus;      ///< "ok", "error" or "timeout".
+  std::string ExecError;       ///< Program-level diagnostic; empty on ok.
+  uint64_t DynInstrs = 0;      ///< ExecResult::Steps.
+  uint64_t DynMoves = 0;       ///< ExecResult::DynMoves.
+  std::vector<uint64_t> ExecOutputs; ///< The `output` trace.
+  uint64_t ExecRet = 0;        ///< The `ret` value; 0 unless ok.
   StatsSnapshot Counters;  ///< Exact per-request deltas (StatsScope);
                            ///< empty on the lean batch-item path.
   std::string IR;          ///< Transformed function; empty on error.

@@ -23,7 +23,7 @@ entry:
 }
 )");
   ExecResult R = interpret(*F, {7, 3});
-  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.RetValue, 7u * 3u);
 }
 
@@ -108,7 +108,7 @@ done:
 )");
   // After 1 iteration (n=2): a=2, b=1 -> r = 2<<2 = 8, r2 = 9.
   ExecResult R = interpret(*F, {2});
-  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.RetValue, 9u);
 }
 
@@ -163,7 +163,7 @@ entry:
 }
 )");
   ExecResult R = interpret(*F, {5, 6});
-  ASSERT_TRUE(R.Ok);
+  ASSERT_TRUE(R.ok());
   EXPECT_EQ(R.RetValue, builtinCall("mix", {5, 6}));
   // Different callee name yields a different value.
   EXPECT_NE(R.RetValue, builtinCall("max", {5, 6}));
@@ -208,7 +208,7 @@ entry:
 }
 )");
   ExecResult R = interpret(*F, {9});
-  ASSERT_TRUE(R.Ok);
+  ASSERT_TRUE(R.ok());
   ASSERT_EQ(R.Outputs.size(), 2u);
   EXPECT_EQ(R.Outputs[0], 9u);
   EXPECT_EQ(R.Outputs[1], 10u);
@@ -224,7 +224,7 @@ entry:
 }
 )");
   ExecResult R = interpret(*F, {1});
-  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.ok());
   EXPECT_NE(R.Error.find("undefined"), std::string::npos);
 }
 
@@ -238,7 +238,7 @@ entry:
 }
 )");
   ExecResult R = interpret(*F, {0});
-  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_EQ(R.RetValue, 0x100000u - 16);
 }
 
@@ -253,7 +253,7 @@ spin:
 }
 )");
   ExecResult R = interpret(*F, {0}, /*MaxSteps=*/1000);
-  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.ok());
   EXPECT_NE(R.Error.find("step limit"), std::string::npos);
 }
 
@@ -265,6 +265,89 @@ entry:
   ret %a
 }
 )");
-  EXPECT_FALSE(interpret(*F, {1}).Ok);
-  EXPECT_TRUE(interpret(*F, {1, 2}).Ok);
+  EXPECT_FALSE(interpret(*F, {1}).ok());
+  EXPECT_TRUE(interpret(*F, {1, 2}).ok());
+}
+
+TEST(Interpreter, StepLimitIsADistinctTimedOutOutcome) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  jump spin
+spin:
+  jump spin
+}
+)");
+  ExecResult R = interpret(*F, {0}, /*MaxSteps=*/1000);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.timedOut());
+  EXPECT_EQ(R.Status, ExecStatus::TimedOut);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+
+  // A genuine runtime error stays in the Error class, so "translation
+  // clobbered a value" and "workload too big" are distinguishable.
+  auto G = parse(R"(
+func @g {
+entry:
+  input %a
+  %r = add %a, %R3
+  ret %r
+}
+)");
+  ExecResult E = interpret(*G, {1});
+  EXPECT_FALSE(E.ok());
+  EXPECT_FALSE(E.timedOut());
+  EXPECT_EQ(E.Status, ExecStatus::Error);
+  EXPECT_FALSE(R.sameOutcome(E));
+}
+
+TEST(Interpreter, UndefinedReadNamesTheRegister) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  %r = add %a, %R3
+  ret %r
+}
+)");
+  ExecResult R = interpret(*F, {1});
+  EXPECT_EQ(R.Status, ExecStatus::Error);
+  EXPECT_EQ(R.Error, "read of undefined register %R3");
+}
+
+TEST(Interpreter, ParallelCopySwapsAndCountsDynMoves) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a, %b, %c
+  parcopy %a = %b, %b = %c, %c = %a
+  output %a
+  output %b
+  output %c
+  ret %a
+}
+)");
+  ExecResult R = interpret(*F, {1, 2, 3});
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // All reads happen before any write: a 3-cycle rotates in parallel.
+  EXPECT_EQ(R.Outputs, (std::vector<uint64_t>{2, 3, 1}));
+  EXPECT_EQ(R.DynMoves, 3u);
+}
+
+TEST(Interpreter, ParallelCopyUndefinedSourceFailsWithFirstError) {
+  auto F = parse(R"(
+func @f {
+entry:
+  input %a
+  parcopy %x = %a, %y = %R5
+  output %x
+  ret %a
+}
+)");
+  ExecResult R = interpret(*F, {4});
+  EXPECT_EQ(R.Status, ExecStatus::Error);
+  EXPECT_EQ(R.Error, "read of undefined register %R5");
+  // The copy is all-or-nothing: nothing ran after the failure.
+  EXPECT_TRUE(R.Outputs.empty());
 }

@@ -120,7 +120,7 @@ done:
   EXPECT_EQ(HeadPhis, 2u) << "i and acc both need header phis";
   // 0+1+2+3+4 = 10.
   auto After = interpret(*F, {5});
-  ASSERT_TRUE(After.Ok) << After.Error;
+  ASSERT_TRUE(After.ok()) << After.Error;
   EXPECT_EQ(After.RetValue, 10u);
   EXPECT_TRUE(Before.sameObservable(After));
 }

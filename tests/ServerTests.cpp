@@ -1034,3 +1034,213 @@ TEST(ServerSocket, ShutdownDrainsInFlightFrames) {
     EXPECT_TRUE(Responses[K].Single.Ok) << Responses[K].Single.RecordJson;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Execution requests (the "exec" key)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerProtocol, ExecOptionsRoundTrip) {
+  Request R;
+  R.Id = 31;
+  R.Exec = "both";
+  R.ExecArgs = {3, 4, 997};
+  R.Text = "func @f {\nentry:\n  input %a\n  ret %a\n}\n";
+  std::istringstream In(encodeRequest(R));
+  Request Back;
+  std::string Error;
+  ASSERT_EQ(readRequest(In, FrameLimits(), Back, Error), FrameStatus::Ok);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Back.Exec, "both");
+  EXPECT_EQ(Back.ExecArgs, R.ExecArgs);
+  // Requests without the keys encode without them and decode to the
+  // "no execution" defaults.
+  Request Plain;
+  Plain.Id = 32;
+  Plain.Text = R.Text;
+  std::string Encoded = encodeRequest(Plain);
+  EXPECT_EQ(Encoded.find("exec"), std::string::npos) << Encoded;
+  std::istringstream In2(Encoded);
+  ASSERT_EQ(readRequest(In2, FrameLimits(), Back, Error), FrameStatus::Ok);
+  EXPECT_TRUE(Back.Exec.empty());
+  EXPECT_TRUE(Back.ExecArgs.empty());
+}
+
+TEST(ServerProtocol, BadExecArgsIsBodyLevelError) {
+  std::string Body = "exec: vm\nexec_args: 1,x,3\n\n"
+                     "func @f {\nentry:\n  input %a\n  ret %a\n}\n";
+  std::string Frame =
+      "LAO1 REQ 33 " + std::to_string(Body.size()) + "\n" + Body + "\n";
+  std::istringstream In(Frame);
+  Request Back;
+  std::string Error;
+  ASSERT_EQ(readRequest(In, FrameLimits(), Back, Error), FrameStatus::Ok);
+  EXPECT_EQ(Back.Id, 33u);
+  EXPECT_NE(Error.find("exec_args"), std::string::npos) << Error;
+}
+
+TEST(Server, ExecVmRequestReportsDynCounters) {
+  Request R;
+  R.Id = 1;
+  R.Text = SimpleFunc;
+  R.Exec = "vm";
+  R.ExecArgs = {3, 4};
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(R), Responses, &S), 0);
+  ASSERT_EQ(Responses.size(), 1u);
+  EXPECT_TRUE(Responses[0].Ok) << Responses[0].RecordJson;
+  // The compiled function still matches the one-shot pipeline byte for
+  // byte: execution is observation, not transformation.
+  EXPECT_EQ(Responses[0].IR, oneShot(SimpleFunc));
+
+  ASSERT_EQ(S.records().size(), 1u);
+  const RequestRecord &Rec = S.records()[0];
+  EXPECT_TRUE(Rec.HasExec);
+  EXPECT_EQ(Rec.ExecEngine, "vm");
+  EXPECT_EQ(Rec.ExecStatus, "ok");
+  // 3 < 4 takes the then-branch: ret (3 addi 1) = 4.
+  EXPECT_EQ(Rec.ExecRet, 4u);
+  EXPECT_GT(Rec.DynInstrs, 0u);
+  EXPECT_NE(Responses[0].RecordJson.find("\"exec_engine\":\"vm\""),
+            std::string::npos)
+      << Responses[0].RecordJson;
+  EXPECT_NE(Responses[0].RecordJson.find("\"exec_ret\":4"), std::string::npos)
+      << Responses[0].RecordJson;
+  EXPECT_NE(Responses[0].RecordJson.find("\"dyn_instrs\":"), std::string::npos)
+      << Responses[0].RecordJson;
+  // Single requests attribute the VM's counter bumps to the request:
+  // the exec.* deltas land in the record's counters object.
+  EXPECT_EQ(Rec.Counters.count("exec.vm_runs"), 1u);
+  EXPECT_EQ(Rec.Counters.at("exec.vm_runs"), 1u);
+  EXPECT_EQ(Rec.Counters.at("exec.dyn_instrs"), Rec.DynInstrs);
+}
+
+TEST(Server, ExecBothRunsTheInProcessDifferential) {
+  Request R;
+  R.Id = 7;
+  R.Text = SimpleFunc;
+  R.Exec = "both";
+  R.ExecArgs = {9, 2};
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(R), Responses, &S), 0);
+  ASSERT_EQ(Responses.size(), 1u);
+  EXPECT_TRUE(Responses[0].Ok) << Responses[0].RecordJson;
+  ASSERT_EQ(S.records().size(), 1u);
+  const RequestRecord &Rec = S.records()[0];
+  EXPECT_TRUE(Rec.HasExec);
+  EXPECT_EQ(Rec.ExecEngine, "both");
+  EXPECT_EQ(Rec.ExecStatus, "ok");
+  // 9 < 2 is false: ret (2 addi 2) = 4 via the else-branch.
+  EXPECT_EQ(Rec.ExecRet, 4u);
+}
+
+TEST(Server, UnknownExecEngineIsPerRequestError) {
+  Request Bad;
+  Bad.Id = 1;
+  Bad.Text = SimpleFunc;
+  Bad.Exec = "jit";
+  Request Good;
+  Good.Id = 2;
+  Good.Text = SimpleFunc;
+  Good.Exec = "interp";
+  Good.ExecArgs = {1, 2};
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(Bad) + encodeRequest(Good),
+                        Responses),
+            0);
+  ASSERT_EQ(Responses.size(), 2u);
+  EXPECT_FALSE(Responses[0].Ok);
+  EXPECT_NE(Responses[0].RecordJson.find("unknown_preset"), std::string::npos)
+      << Responses[0].RecordJson;
+  EXPECT_NE(Responses[0].RecordJson.find("unknown exec engine"),
+            std::string::npos)
+      << Responses[0].RecordJson;
+  EXPECT_TRUE(Responses[1].Ok) << Responses[1].RecordJson;
+  EXPECT_NE(Responses[1].RecordJson.find("\"exec_engine\":\"interp\""),
+            std::string::npos)
+      << Responses[1].RecordJson;
+}
+
+TEST(Server, ExecTimeoutIsAResultNotARequestError) {
+  // A spin loop exhausts the fixed step budget; the request still
+  // succeeds — the timeout is recorded as the execution's status.
+  const char *Spin = R"(
+func @spin {
+entry:
+  input %a
+  jump loop
+loop:
+  jump loop
+}
+)";
+  Request R;
+  R.Id = 1;
+  R.Text = Spin;
+  R.Exec = "both";
+  R.ExecArgs = {1};
+  ServerOptions Opts;
+  Opts.NumWorkers = 1;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::vector<Response> Responses;
+  EXPECT_EQ(serveFrames(Opts, encodeRequest(R), Responses, &S), 0);
+  ASSERT_EQ(Responses.size(), 1u);
+  EXPECT_TRUE(Responses[0].Ok) << Responses[0].RecordJson;
+  ASSERT_EQ(S.records().size(), 1u);
+  EXPECT_EQ(S.records()[0].ExecStatus, "timeout");
+  EXPECT_NE(Responses[0].RecordJson.find("\"exec_status\":\"timeout\""),
+            std::string::npos)
+      << Responses[0].RecordJson;
+}
+
+TEST(Server, BatchItemsInheritExecOptions) {
+  BatchRequest B;
+  B.Id = 50;
+  B.Exec = "both";
+  B.ExecArgs = {5, 6};
+  B.Texts = {SimpleFunc, SimpleFunc, SimpleFunc};
+  ServerOptions Opts;
+  Opts.NumWorkers = 2;
+  Opts.CollectRecords = true;
+  Server S(Opts);
+  std::istringstream In(encodeBatchRequest(B));
+  std::ostringstream OutBytes;
+  EXPECT_EQ(S.serve(In, OutBytes), 0);
+  std::istringstream Rsp(OutBytes.str());
+  FrameKind Kind;
+  Response Single;
+  BatchResponse Back;
+  std::string Error;
+  ASSERT_EQ(readResponseFrame(Rsp, FrameLimits(), Kind, Single, Back, Error),
+            FrameStatus::Ok);
+  ASSERT_EQ(Kind, FrameKind::Batch);
+  EXPECT_TRUE(Back.Ok) << Back.SummaryJson;
+  ASSERT_EQ(Back.Items.size(), 3u);
+  for (const Response &Item : Back.Items) {
+    EXPECT_TRUE(Item.Ok) << Item.RecordJson;
+    // 5 < 6: ret (5 addi 1) = 6 on every item.
+    EXPECT_NE(Item.RecordJson.find("\"exec_ret\":6"), std::string::npos)
+        << Item.RecordJson;
+    EXPECT_NE(Item.RecordJson.find("\"exec_engine\":\"both\""),
+              std::string::npos)
+        << Item.RecordJson;
+  }
+  ASSERT_EQ(S.records().size(), 3u);
+  for (const RequestRecord &Rec : S.records()) {
+    EXPECT_TRUE(Rec.HasExec);
+    EXPECT_EQ(Rec.ExecRet, 6u);
+    // Batch items ride the lean path: dyn counters come from the record
+    // fields, not a per-item StatsScope.
+    EXPECT_TRUE(Rec.Counters.empty());
+    EXPECT_GT(Rec.DynInstrs, 0u);
+  }
+}

@@ -39,8 +39,8 @@ inline void expectEquivalent(const Function &Before, const Function &After,
                              const std::vector<uint64_t> &Args) {
   ExecResult RB = interpret(Before, Args);
   ExecResult RA = interpret(After, Args);
-  ASSERT_TRUE(RB.Ok) << Before.name() << " (before): " << RB.Error;
-  ASSERT_TRUE(RA.Ok) << After.name() << " (after): " << RA.Error
+  ASSERT_TRUE(RB.ok()) << Before.name() << " (before): " << RB.Error;
+  ASSERT_TRUE(RA.ok()) << After.name() << " (after): " << RA.Error
                      << "\n--- after code ---\n"
                      << printFunction(After);
   EXPECT_EQ(RB.RetValue, RA.RetValue)

@@ -47,7 +47,7 @@ TEST(Generator, ProgramsAreWellFormedAndRunnable) {
     auto F = generateProgram(P, "w" + std::to_string(Seed));
     expectWellFormed(*F);
     ExecResult R = interpret(*F, {Seed, Seed + 1});
-    EXPECT_TRUE(R.Ok) << "seed " << Seed << ": " << R.Error;
+    EXPECT_TRUE(R.ok()) << "seed " << Seed << ": " << R.Error;
     EXPECT_FALSE(R.Outputs.empty()) << "programs must be observable";
   }
 }
@@ -82,7 +82,7 @@ TEST(Suites, AllSuitesProduceValidOptimizedSSA) {
       ASSERT_FALSE(W.Inputs.empty());
       for (const auto &Args : W.Inputs) {
         ExecResult R = interpret(*W.F, Args);
-        EXPECT_TRUE(R.Ok) << R.Error;
+        EXPECT_TRUE(R.ok()) << R.Error;
       }
     }
   }
@@ -154,7 +154,7 @@ TEST(PaperFigures, AllParseVerifyAndRun) {
     for (unsigned K = 0; K < E.NumArgs; ++K)
       Args.push_back(3 + K);
     ExecResult R = interpret(*F, Args);
-    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(R.ok()) << R.Error;
   }
 }
 

@@ -45,6 +45,11 @@
 // sending SIGTERM and requires a clean exit 0 — the graceful-shutdown
 // path is part of what a socket selftest proves.
 //
+// The exit report (stderr) includes per-request latency percentiles
+// (p50/p95/p99/max), measured from frame submission to response-frame
+// arrival under full pipelining; batch items inherit their frame's
+// latency.
+//
 // Exit status: 0 when every response is ok (and, under --selftest,
 // byte-identical); 1 otherwise; 2 on bad usage.
 //
@@ -57,7 +62,9 @@
 #include "server/SocketTransport.h"
 #include "workloads/Suites.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -316,6 +323,48 @@ std::vector<Frame> buildFrames(const Options &Opts,
   return Frames;
 }
 
+/// Incremental frame-boundary detector over the raw response bytes.
+/// The reader thread feeds it after every read(); whenever the bytes
+/// now cover one more complete frame (header line + declared body + the
+/// frame newline) it stamps that frame's id with the arrival time. This
+/// is a timestamping overlay only — the authoritative parse of the same
+/// bytes happens after the drain — so on anything unframeable it simply
+/// stops measuring instead of guessing.
+struct ArrivalScanner {
+  using Clock = std::chrono::steady_clock;
+  size_t Pos = 0;
+  bool Dead = false;
+  std::map<uint64_t, Clock::time_point> Arrivals; ///< First arrival per id.
+
+  void feed(const std::string &Bytes) {
+    Clock::time_point Now = Clock::now();
+    while (!Dead) {
+      size_t Nl = Bytes.find('\n', Pos);
+      if (Nl == std::string::npos)
+        return;
+      unsigned long long Id = 0, BodyBytes = 0;
+      if (std::sscanf(Bytes.c_str() + Pos, "LAO1 %*3s %llu %llu", &Id,
+                      &BodyBytes) != 2) {
+        Dead = true;
+        return;
+      }
+      size_t End = Nl + 1 + static_cast<size_t>(BodyBytes) + 1;
+      if (End > Bytes.size())
+        return; // The frame's body is still in flight.
+      Arrivals.emplace(Id, Now);
+      Pos = End;
+    }
+  }
+};
+
+/// Nearest-rank percentile of \p Sorted (ascending), P in [0,100].
+double percentileMs(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Rank = static_cast<size_t>(P / 100.0 * Sorted.size());
+  return Sorted[std::min(Rank, Sorted.size() - 1)];
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -418,6 +467,7 @@ int main(int Argc, char **Argv) {
   // error, not a hang: every idle tick checks whether the spawned
   // child is still alive. It owns T.Pid until joined.
   std::string ResponseBytes;
+  ArrivalScanner Scanner; ///< Owned by the reader thread until joined.
   std::thread Reader([&] {
     for (;;) {
       pollfd P{T.ReadFd, POLLIN, 0};
@@ -432,6 +482,7 @@ int main(int Argc, char **Argv) {
         ssize_t N = read(T.ReadFd, Buf, sizeof(Buf));
         if (N > 0) {
           ResponseBytes.append(Buf, static_cast<size_t>(N));
+          Scanner.feed(ResponseBytes);
           continue;
         }
         return; // EOF (or a hard error): the response stream is over.
@@ -450,18 +501,23 @@ int main(int Argc, char **Argv) {
         if (N <= 0)
           return;
         ResponseBytes.append(Buf, static_cast<size_t>(N));
+        Scanner.feed(ResponseBytes);
       }
     }
   });
 
-  // Submit every frame, then half-close our sending direction so the
-  // server sees EOF once it drains.
+  // Submit every frame, stamping each submission so the exit report can
+  // pair it with the frame's arrival, then half-close our sending
+  // direction so the server sees EOF once it drains.
+  std::map<uint64_t, ArrivalScanner::Clock::time_point> SendTimes;
   bool WriteFailed = false;
-  for (const Frame &F : Frames)
+  for (const Frame &F : Frames) {
+    SendTimes.emplace(F.Id, ArrivalScanner::Clock::now());
     if (!writeAll(T.WriteFd, F.Encoded)) {
       WriteFailed = true;
       break;
     }
+  }
   if (T.IsSocket)
     shutdown(T.WriteFd, SHUT_WR);
   else
@@ -590,6 +646,32 @@ int main(int Argc, char **Argv) {
       std::printf("; --- %s ---\n%s", J.Label.c_str(), Rsp.IR.c_str());
   }
 
+  // Per-request latency, measured frame submission -> response-frame
+  // arrival — what a fully pipelining client actually experiences, so
+  // queueing behind earlier frames counts. Batch items inherit their
+  // frame's latency. Best-effort: frames whose response the scanner
+  // never saw complete (dead server, unframeable bytes) are not
+  // counted.
+  std::vector<double> LatMs;
+  for (const Frame &F : Frames) {
+    auto SendIt = SendTimes.find(F.Id);
+    auto ArrIt = Scanner.Arrivals.find(F.Id);
+    if (SendIt == SendTimes.end() || ArrIt == Scanner.Arrivals.end())
+      continue;
+    double Ms = std::chrono::duration<double, std::milli>(ArrIt->second -
+                                                          SendIt->second)
+                    .count();
+    LatMs.insert(LatMs.end(), F.JobIdx.size(), Ms);
+  }
+  if (!LatMs.empty()) {
+    std::sort(LatMs.begin(), LatMs.end());
+    std::fprintf(stderr,
+                 "latency: %zu requests, p50=%.3fms p95=%.3fms "
+                 "p99=%.3fms max=%.3fms\n",
+                 LatMs.size(), percentileMs(LatMs, 50),
+                 percentileMs(LatMs, 95), percentileMs(LatMs, 99),
+                 LatMs.back());
+  }
   if (Opts.Selftest)
     std::fprintf(stderr,
                  "selftest: %zu functions in %zu frames, %llu failures "

@@ -24,8 +24,13 @@
 //                         register-count spelling (--regalloc=N), kept
 //                         as an alias for --regalloc --regalloc-regs=N.
 //     --regalloc-regs=N   size of the allocatable pool (default 12)
-//     --run a,b,...       interpret with the given integer arguments and
+//     --run a,b,...       execute with the given integer arguments and
 //                         print the trace
+//     --exec=<engine>     engine for --run: interp (tree-walk, default),
+//                         vm (threaded-dispatch bytecode), or both —
+//                         which runs the two engines as an in-process
+//                         differential check and fails on divergence
+//                         (docs/EXEC.md)
 //     --dot               print the CFG as Graphviz instead of text
 //     --verify            print structural/pinning/SSA diagnostics
 //     --stats             print pass statistics (including the global
@@ -45,6 +50,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "exec/Interpreter.h"
+#include "exec/VM.h"
 #include "ir/Clone.h"
 #include "ir/DotExport.h"
 #include "ir/IRParser.h"
@@ -86,6 +92,7 @@ struct Options {
   std::string TimingJson;
   std::vector<uint64_t> RunArgs;
   bool Run = false;
+  std::string Exec = "interp"; ///< --run engine: interp, vm, or both.
   std::string InputPath;
 };
 
@@ -94,6 +101,7 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [--ssa] [--ifconvert] [--pipeline=<preset>] "
       "[--regalloc[=<preset>]] [--regalloc-regs=N] [--run a,b,...] "
+      "[--exec=vm|interp|both] "
       "[--verify] [--stats] [--interference-stats] [--coalesce-stats] "
       "[--timing-json=<file>] <file.lai|->\n",
       Argv0);
@@ -145,6 +153,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         List = Argv[++K];
       for (const std::string &Piece : splitString(List, ','))
         Opts.RunArgs.push_back(std::strtoull(Piece.c_str(), nullptr, 0));
+    } else if (A.rfind("--exec=", 0) == 0) {
+      Opts.Exec = A.substr(std::strlen("--exec="));
+      if (Opts.Exec != "vm" && Opts.Exec != "interp" && Opts.Exec != "both") {
+        std::fprintf(stderr, "unknown exec engine '%s' (want vm, interp, "
+                             "or both)\n",
+                     Opts.Exec.c_str());
+        return false;
+      }
     } else if (A == "--dot") {
       Opts.Dot = true;
     } else if (A == "--verify") {
@@ -342,16 +358,42 @@ int main(int Argc, char **Argv) {
 
   if (Opts.Run) {
     ExecResult Ref = interpret(*Reference, Opts.RunArgs);
-    ExecResult Res = interpret(*F, Opts.RunArgs);
-    if (!Res.Ok) {
-      std::fprintf(stderr, "run error: %s\n", Res.Error.c_str());
+    ExecResult Res = Opts.Exec == "vm" ? executeVM(*F, Opts.RunArgs)
+                                       : interpret(*F, Opts.RunArgs);
+    if (Opts.Exec == "both") {
+      // In-process differential check: the VM must reproduce the
+      // interpreter's outcome on the transformed program exactly.
+      ExecResult Vm = executeVM(*F, Opts.RunArgs);
+      if (!Res.sameOutcome(Vm)) {
+        std::fprintf(stderr,
+                     "exec divergence: interp {status=%d ret=%llu "
+                     "outputs=%zu error=%s} vm {status=%d ret=%llu "
+                     "outputs=%zu error=%s}\n",
+                     static_cast<int>(Res.Status),
+                     static_cast<unsigned long long>(Res.RetValue),
+                     Res.Outputs.size(), Res.Error.c_str(),
+                     static_cast<int>(Vm.Status),
+                     static_cast<unsigned long long>(Vm.RetValue),
+                     Vm.Outputs.size(), Vm.Error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "exec both: engines agree (interp %llu steps, vm %llu "
+                   "instrs / %llu moves)\n",
+                   static_cast<unsigned long long>(Res.Steps),
+                   static_cast<unsigned long long>(Vm.Steps),
+                   static_cast<unsigned long long>(Vm.DynMoves));
+    }
+    if (!Res.ok()) {
+      std::fprintf(stderr, "run error%s: %s\n",
+                   Res.timedOut() ? " (timeout)" : "", Res.Error.c_str());
       return 1;
     }
     std::printf("; run:");
     for (uint64_t V : Res.Outputs)
       std::printf(" out=%llu", static_cast<unsigned long long>(V));
     std::printf(" ret=%llu", static_cast<unsigned long long>(Res.RetValue));
-    if (Ref.Ok)
+    if (Ref.ok())
       std::printf(" (matches input program: %s)",
                   Ref.sameObservable(Res) ? "yes" : "NO");
     std::printf("\n");
